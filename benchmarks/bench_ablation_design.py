@@ -1,0 +1,91 @@
+"""Design-choice ablations beyond the paper's figures (DESIGN.md list).
+
+* D2D in the mix vs CPU-swap/recompute only (what D2D itself buys),
+* swap-in prefetch lead distance,
+* microbatches per minibatch (pipeline bubble vs memory pressure).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.mpress import MPress
+from repro.core.planner import PlannerConfig
+from repro.hardware import dgx1_server
+from repro.job import dapple_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+from repro.sim.executor import simulate
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_d2d_contribution(once):
+    """MPress with and without D2D in the technique mix."""
+
+    def measure():
+        job = pipedream_job(bert_variant(1.67), dgx1_server())
+        with_d2d = MPress(job, PlannerConfig()).run()
+        without = MPress(
+            job, PlannerConfig(allow_d2d=False, mapping_mode="identity")
+        ).run()
+        return with_d2d, without
+
+    with_d2d, without = once(measure)
+    print()
+    print(format_table(
+        ["variant", "TFLOPS"],
+        [["recompute+cpu-swap", f"{without.tflops:.1f}"],
+         [" + d2d swap", f"{with_d2d.tflops:.1f}"]],
+        title="Ablation: D2D swap in the technique mix (Bert-1.67B)",
+    ))
+    assert with_d2d.ok and without.ok
+    assert with_d2d.tflops >= without.tflops * 0.999
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_prefetch_lead(once):
+    """Swap-in prefetch distance: too late exposes transfer time."""
+
+    def measure():
+        job = dapple_job(gpt_variant(10.3), dgx1_server())
+        plan = MPress(job).build_plan()
+        rows = []
+        for lead in (1, 3, 6):
+            result = simulate(job, plan, strict=False, prefetch_lead=lead)
+            rows.append((lead, result.minibatch_time))
+        return rows
+
+    rows = once(measure)
+    print()
+    print(format_table(
+        ["prefetch lead", "minibatch s"],
+        [[lead, f"{t:.2f}"] for lead, t in rows],
+        title="Ablation: swap-in prefetch lead (GPT-10.3B)",
+    ))
+    times = [t for _, t in rows]
+    # Earlier prefetch never slows the pipeline down materially.
+    assert times[-1] <= times[0] * 1.05
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_microbatches_per_minibatch(once):
+    """DAPPLE bubble amortization: more microbatches, higher TFLOPS —
+    at the price of deeper in-flight memory."""
+
+    def measure():
+        server = dgx1_server()
+        rows = []
+        for mpm in (4, 8, 16):
+            job = dapple_job(gpt_variant(5.3), server,
+                             microbatches_per_minibatch=mpm)
+            result = simulate(job, strict=False)
+            rows.append((mpm, result.tflops, max(result.peak_memory_per_gpu)))
+        return rows
+
+    rows = once(measure)
+    print()
+    print(format_table(
+        ["microbatches", "TFLOPS", "max peak GiB"],
+        [[m, f"{t:.0f}", f"{p / 2**30:.1f}"] for m, t, p in rows],
+        title="Ablation: microbatches per minibatch (GPT-5.3B)",
+    ))
+    tflops = [t for _, t, _ in rows]
+    assert tflops == sorted(tflops)  # bubble amortization

@@ -1,0 +1,37 @@
+"""Figure 2: imbalanced per-device GPU memory consumption.
+
+Paper: training Bert-1.67B, per-device memory decreases steeply from
+GPU0 to GPU7, with up to 7.9x between the most and least used GPU.
+"""
+
+from repro.analysis.reporting import format_series
+from repro.core.profiler import Profiler
+from repro.hardware import dgx1_server
+from repro.job import dapple_job, pipedream_job
+from repro.models import bert_variant
+
+
+def _measure():
+    server = dgx1_server()
+    jobs = {
+        "PipeDream bs=2": pipedream_job(bert_variant(1.67), server, microbatch_size=2),
+        "DAPPLE bs=12": dapple_job(bert_variant(1.67), server, microbatch_size=12),
+    }
+    series = {}
+    for name, job in jobs.items():
+        profile = Profiler(job).run()
+        series[name] = [p / 2**30 for p in profile.stage_peaks]
+    return series
+
+
+def test_fig2_memory_imbalance(once):
+    series = once(_measure)
+    print()
+    print("Figure 2: per-device GPU memory (GiB), Bert-1.67B")
+    for name, peaks in series.items():
+        print(format_series(name, [f"gpu{i}" for i in range(8)], peaks))
+        ratio = max(peaks) / min(peaks)
+        print(f"  imbalance {ratio:.1f}x (paper: up to 7.9x)")
+        # Monotone decrease and strong imbalance.
+        assert peaks == sorted(peaks, reverse=True)
+        assert ratio > 3.0

@@ -1,0 +1,46 @@
+"""Figure 4: unidirectional aggregate bandwidth vs data size.
+
+Paper: PCIe saturates near 11.7 GB/s; 2 NVLinks ~45 GB/s; 6 NVLinks
+~146 GB/s (3.9-12.5x of PCIe); all curves ramp up with message size.
+"""
+
+from repro.analysis.reporting import format_series
+from repro.hardware.bandwidth import effective_bandwidth
+from repro.hardware.links import NVLINK2, PCIE3_X16
+from repro.units import GBps, KB, MB, GB
+
+SIZES = [64 * KB, 1 * MB, 16 * MB, 256 * MB, 1 * GB]
+LABELS = ["64KB", "1MB", "16MB", "256MB", "1GB"]
+
+
+def _measure():
+    curves = {"PCIe": [(size, effective_bandwidth(size, PCIE3_X16)) for size in SIZES]}
+    for lanes in (2, 3, 4, 5, 6):
+        curves[f"NV{lanes}"] = [
+            (size, effective_bandwidth(size, NVLINK2, lanes=lanes)) for size in SIZES
+        ]
+    return curves
+
+
+def test_fig4_bandwidth_curves(once):
+    curves = once(_measure)
+    print()
+    print("Figure 4: effective unidirectional bandwidth (GB/s)")
+    for name, points in curves.items():
+        values = [bw / GBps for _, bw in points]
+        print(format_series(name, LABELS, values, unit=""))
+        # Monotone ramp with message size.
+        assert values == sorted(values)
+
+    pcie = curves["PCIe"][-1][1]
+    nv2 = curves["NV2"][-1][1]
+    nv6 = curves["NV6"][-1][1]
+    print(f"saturated: PCIe={pcie / GBps:.1f} NV2={nv2 / GBps:.1f} "
+          f"NV6={nv6 / GBps:.1f} (paper: 11.7 / 45 / 146)")
+    # Paper's anchors within 10%.
+    assert abs(pcie / GBps - 11.7) < 1.2
+    assert abs(nv2 / GBps - 45) < 5
+    assert abs(nv6 / GBps - 146) < 8
+    # Aggregation ratio 3.9-12.5x over PCIe.
+    assert 3.5 < nv2 / pcie < 4.5
+    assert 11.5 < nv6 / pcie < 13.0

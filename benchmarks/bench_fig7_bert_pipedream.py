@@ -1,0 +1,94 @@
+"""Figure 7: Bert training performance across memory-saving systems.
+
+Paper shape (DGX-1, PipeDream base): all five equal at 0.35B;
+PipeDream OOMs from 0.64B; GPU-CPU swap always worst among
+survivors; Recomputation beats swap but dies at large sizes; MPress
+matches the best everywhere and is the only system (plus swap)
+reaching 6.2B — 3.1x faster than swap there.
+"""
+
+import pytest
+
+from repro.analysis.plotting import grouped_bars
+from repro.analysis.reporting import format_table
+from repro.core.mpress import run_system
+from repro.hardware import dgx1_server
+from repro.job import pipedream_job
+from repro.models import bert_variant
+
+SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "d2d-only", "mpress")
+SIZES = (0.35, 0.64, 1.67, 4.0, 6.2)
+
+
+def _measure():
+    server = dgx1_server()
+    table = {}
+    for billions in SIZES:
+        job = pipedream_job(bert_variant(billions), server)
+        table[billions] = {
+            system: run_system(job, system) for system in SYSTEMS
+        }
+    return table
+
+
+def _cell(result):
+    return f"{result.tflops:.0f}" if result.ok else "OOM"
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_fig7_bert_systems(once):
+    table = once(_measure)
+    print()
+    rows = [
+        [f"Bert-{billions}B"] + [_cell(table[billions][s]) for s in SYSTEMS]
+        for billions in SIZES
+    ]
+    print(format_table(
+        ["model", *SYSTEMS],
+        rows,
+        title="Figure 7: Bert TFLOPS by system (OOM = red cross)",
+    ))
+    print()
+    series = {
+        system: [
+            table[b][system].tflops if table[b][system].ok else None
+            for b in SIZES
+        ]
+        for system in SYSTEMS
+    }
+    print(grouped_bars([f"Bert-{b}B" for b in SIZES], series,
+                       unit=" TF", title="Figure 7 (bars)"))
+
+    # Small: everything works and ties.
+    small = table[0.35]
+    values = [small[s].tflops for s in SYSTEMS]
+    assert max(values) - min(values) < 0.05 * max(values)
+
+    # Medium: PipeDream OOMs; swap is worst among survivors; the
+    # stand-alone D2D variant suffices and matches full MPress
+    # ("the two MPress perform the best with identical performance").
+    medium = table[0.64]
+    assert not medium["none"].ok
+    assert medium["gpu-cpu-swap"].ok
+    assert medium["recomputation"].tflops > 1.2 * medium["gpu-cpu-swap"].tflops
+    assert medium["mpress"].tflops >= 0.98 * medium["recomputation"].tflops
+    assert medium["d2d-only"].ok
+    assert medium["d2d-only"].tflops >= 0.95 * medium["mpress"].tflops
+
+    # Large: the spare GPU memory cannot absorb everything, so the
+    # stand-alone D2D variant fails from 1.67B on (paper Sec. IV-B).
+    assert not table[1.67]["d2d-only"].ok
+
+    # Extra large: only swap and MPress survive; MPress >> swap
+    # (paper: 3.1x).
+    huge = table[6.2]
+    assert not huge["recomputation"].ok and not huge["none"].ok
+    assert huge["gpu-cpu-swap"].ok and huge["mpress"].ok
+    assert huge["mpress"].tflops > 2.0 * huge["gpu-cpu-swap"].tflops
+
+    # MPress survives (and leads or ties) at every size.
+    for billions in SIZES:
+        entry = table[billions]
+        assert entry["mpress"].ok
+        best = max(r.tflops for r in entry.values())
+        assert entry["mpress"].tflops >= 0.9 * best

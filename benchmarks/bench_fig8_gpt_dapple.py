@@ -1,0 +1,115 @@
+"""Figure 8: GPT training performance on DGX-1 and DGX-2.
+
+Paper shape: DAPPLE alone stops at 5.3B; DAPPLE+Recomp reaches
+mid-size then hits the model-state wall; the ZeRO variants and
+MPress scale to the largest sizes, with MPress fastest throughout;
+ZeRO-Infinity beats ZeRO-Offload on DGX-1 but loses on the DGX-2
+with slow SSDs; DGX-2 throughput is more than double DGX-1.
+"""
+
+import pytest
+
+from repro.analysis.plotting import grouped_bars
+from repro.analysis.reporting import format_table
+from repro.baselines.zero import run_zero
+from repro.core.mpress import run_system
+from repro.hardware import dgx1_server, dgx2_server
+from repro.job import dapple_job
+from repro.models import gpt_variant
+
+SIZES = (5.3, 10.3, 15.4, 20.4, 25.5)
+COLUMNS = ("dapple", "+recomp", "zero-offload", "zero-infinity", "mpress")
+
+
+def _measure(server):
+    table = {}
+    for billions in SIZES:
+        model = gpt_variant(billions)
+        job = dapple_job(model, server)
+        samples = job.samples_per_minibatch
+        table[billions] = {
+            "dapple": run_system(job, "none"),
+            "+recomp": run_system(job, "recomputation"),
+            "zero-offload": run_zero(model, server, "offload", samples),
+            "zero-infinity": run_zero(model, server, "infinity", samples),
+            "mpress": run_system(job, "mpress"),
+        }
+    return table
+
+
+def _cell(result):
+    return f"{result.tflops:.0f}" if result.ok else "OOM"
+
+
+def _print(table, title):
+    rows = [
+        [f"GPT-{billions}B"] + [_cell(table[billions][c]) for c in COLUMNS]
+        for billions in SIZES
+    ]
+    print(format_table(["model", *COLUMNS], rows, title=title))
+    print()
+    series = {
+        column: [
+            table[b][column].tflops if table[b][column].ok else None
+            for b in SIZES
+        ]
+        for column in COLUMNS
+    }
+    print(grouped_bars([f"GPT-{b}B" for b in SIZES], series,
+                       unit=" TF", title=f"{title} (bars)"))
+
+
+def _common_assertions(table):
+    # DAPPLE alone only handles the smallest model.
+    assert table[5.3]["dapple"].ok
+    assert not table[10.3]["dapple"].ok
+    # Recomputation hits the model-state wall before 20.4B.
+    assert table[10.3]["+recomp"].ok
+    assert not table[20.4]["+recomp"].ok
+    # ZeRO variants and MPress scale to the largest size.
+    for column in ("zero-offload", "zero-infinity", "mpress"):
+        assert table[25.5][column].ok, column
+    # MPress leads at every size it shares with ZeRO.
+    for billions in SIZES:
+        entry = table[billions]
+        assert entry["mpress"].tflops > entry["zero-offload"].tflops
+        assert entry["mpress"].tflops > entry["zero-infinity"].tflops
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8a_dgx1(once):
+    table = once(lambda: _measure(dgx1_server()))
+    print()
+    _print(table, "Figure 8a: GPT TFLOPS on DGX-1-V100")
+    _common_assertions(table)
+    # Fast NVMe: Infinity ahead of Offload (paper: +20.6-23.8%).
+    for billions in SIZES:
+        entry = table[billions]
+        assert entry["zero-infinity"].tflops > entry["zero-offload"].tflops
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8b_dgx2(once):
+    table = once(lambda: _measure(dgx2_server()))
+    print()
+    _print(table, "Figure 8b: GPT TFLOPS on DGX-2-A100 (slow NVMe)")
+    _common_assertions(table)
+    # Slow SSDs invert the ZeRO ranking (the paper's observation).
+    for billions in SIZES:
+        entry = table[billions]
+        assert entry["zero-offload"].tflops > entry["zero-infinity"].tflops
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig8_dgx2_doubles_dgx1(once):
+    def measure():
+        model = gpt_variant(10.3)
+        v100 = run_system(dapple_job(model, dgx1_server()), "mpress")
+        a100 = run_system(dapple_job(model, dgx2_server()), "mpress")
+        return v100, a100
+
+    v100, a100 = once(measure)
+    print()
+    print(f"GPT-10.3B MPress: DGX-1 {v100.tflops:.0f} TF, DGX-2 "
+          f"{a100.tflops:.0f} TF ({a100.tflops / v100.tflops:.1f}x, paper: >2x)")
+    assert a100.tflops > 2.0 * v100.tflops

@@ -1,0 +1,60 @@
+"""Section II-D: memory-balanced partitioning is not a good option.
+
+Paper: adopting memory-balanced stage partitioning fixes the
+imbalance of Figure 2 but costs ~34% training throughput versus the
+computation-balanced default, because stage compute times become
+uneven.  We run both strategies on the same job and compare.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.profiler import Profiler
+from repro.hardware import dgx1_server
+from repro.job import pipedream_job
+from repro.models import bert_variant
+from repro.sim.executor import simulate
+
+
+def _measure():
+    server = dgx1_server()
+    base = pipedream_job(bert_variant(0.35), server)
+    rows = {}
+    for strategy in ("computation", "memory"):
+        job = dataclasses.replace(base, partition_strategy=strategy)
+        result = simulate(job, strict=False)
+        profile = Profiler(job).run()
+        rows[strategy] = (result, profile)
+    return rows
+
+
+@pytest.mark.benchmark(group="partition")
+def test_partition_strategy_tradeoff(once):
+    rows = once(_measure)
+    print()
+    table = []
+    for strategy, (result, profile) in rows.items():
+        peaks = profile.stage_peaks
+        table.append([
+            strategy,
+            f"{result.tflops:.1f}",
+            f"{max(peaks) / min(peaks):.1f}x",
+        ])
+    print(format_table(
+        ["strategy", "TFLOPS", "memory imbalance"],
+        table,
+        title="Section II-D: partitioning strategy trade-off (Bert-0.35B)",
+    ))
+    compute_result, compute_profile = rows["computation"]
+    memory_result, memory_profile = rows["memory"]
+    # The memory strategy flattens the footprint...
+    assert (
+        memory_profile.imbalance()
+        < compute_profile.imbalance()
+    )
+    # ...but costs throughput (paper: ~34% loss).
+    loss = 1 - memory_result.tflops / compute_result.tflops
+    print(f"memory-balanced throughput loss: {100 * loss:.0f}% (paper: ~34%)")
+    assert loss > 0.05

@@ -1,0 +1,22 @@
+"""Section V: hardware-insights projection for Grace-Hopper.
+
+Paper claims to reproduce: GPT-3-175B still overflows 96 GB HBM +
+512 GB CPU memory's fast tier; fully hiding the swap needs >140 GB/s
+per GPU (more than double the 64 GB/s link); the recomputation
+alternative wastes 25% of compute.
+"""
+
+from repro.analysis.projection import GRACE_HOPPER, project
+from repro.units import GBps
+
+
+def test_section5_grace_hopper_projection(once):
+    report = once(project)
+    print()
+    print(report.summary())
+    assert not report.fits_hbm
+    assert report.fits_with_cpu_memory
+    assert report.required_hiding_bandwidth > 140 * GBps  # paper threshold
+    assert report.required_hiding_bandwidth > 2 * GRACE_HOPPER.cpu_link_bandwidth
+    assert abs(report.recompute_waste_fraction - 0.25) < 1e-9
+    assert report.swap_exposed_fraction > 0.1

@@ -1,0 +1,60 @@
+"""Section IV-C: the result gap between PipeDream and DAPPLE.
+
+The paper observes DAPPLE significantly outperforming PipeDream on
+throughput (fp16 kernels plus two more years of optimizations) while
+PipeDream sustains *smaller* models (asynchronous weight stashing).
+Both effects are structural in our model and asserted here.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.profiler import Profiler
+from repro.hardware import dgx1_server
+from repro.job import dapple_job, gpipe_job, pipedream_job
+from repro.models import bert_variant
+from repro.sim.executor import simulate
+
+
+def _measure():
+    server = dgx1_server()
+    model = bert_variant(0.35)
+    jobs = {
+        "PipeDream (async, fp32)": pipedream_job(model, server, microbatch_size=2),
+        "DAPPLE (sync, fp16)": dapple_job(model, server, microbatch_size=2),
+        "GPipe (sync, fp16)": gpipe_job(model, server, microbatch_size=2),
+    }
+    rows = {}
+    for name, job in jobs.items():
+        result = simulate(job, strict=False)
+        profile = Profiler(job).run()
+        rows[name] = (result, profile)
+    return rows
+
+
+@pytest.mark.benchmark(group="system-gap")
+def test_pipedream_vs_dapple_gap(once):
+    rows = once(_measure)
+    print()
+    table = [
+        [name,
+         f"{result.tflops:.1f}",
+         f"{max(profile.stage_peaks) / 2**30:.1f}",
+         f"{profile.imbalance():.1f}x"]
+        for name, (result, profile) in rows.items()
+    ]
+    print(format_table(
+        ["system", "TFLOPS", "max stage GiB", "imbalance"],
+        table,
+        title="Section IV-C: system gap (Bert-0.35B, microbatch 2)",
+    ))
+    pipedream, pd_profile = rows["PipeDream (async, fp32)"]
+    dapple, da_profile = rows["DAPPLE (sync, fp16)"]
+    gpipe, gp_profile = rows["GPipe (sync, fp16)"]
+    # Throughput: DAPPLE well ahead (fp16 tensor cores).
+    assert dapple.tflops > 2.0 * pipedream.tflops
+    # Memory: PipeDream's stashing+fp32 uses more per stage.
+    assert max(pd_profile.stage_peaks) > max(da_profile.stage_peaks)
+    # GPipe holds all microbatches at the turning point: deepest
+    # late-stage footprint of the synchronous pair.
+    assert gp_profile.stage_peaks[-1] >= da_profile.stage_peaks[-1]

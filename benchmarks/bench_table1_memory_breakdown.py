@@ -1,0 +1,61 @@
+"""Table I: GPU memory consumption by data type.
+
+Paper rows (percent): Bert-0.64B -> 39 / 46 / 15 and GPT-5.3B ->
+42 / 44 / 14 for activation / optimizer / params+grads.  Our
+breakdown uses peak-resident accounting from the profiler; the
+optimizer:params+grads 3:1 split is reproduced exactly by the
+mixed-precision state model, while the activation share is larger
+(see EXPERIMENTS.md).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.profiler import Profiler
+from repro.hardware import dgx1_server
+from repro.job import dapple_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+
+PAPER = {
+    "Bert-0.64B": (39, 46, 15),
+    "GPT-5.3B": (42, 44, 14),
+}
+
+
+def _breakdown_rows():
+    server = dgx1_server()
+    jobs = {
+        "Bert-0.64B": pipedream_job(bert_variant(0.64), server),
+        "GPT-5.3B": dapple_job(gpt_variant(5.3), server),
+    }
+    rows = []
+    for name, job in jobs.items():
+        percent = Profiler(job).run().memory_breakdown_percent()
+        paper = PAPER[name]
+        rows.append([
+            name,
+            f"{percent['activation']:.0f}%",
+            f"{percent['optimizer']:.0f}%",
+            f"{percent['params+grads']:.0f}%",
+            f"{paper[0]}% / {paper[1]}% / {paper[2]}%",
+        ])
+    return rows
+
+
+def test_table1_memory_breakdown(once):
+    rows = once(_breakdown_rows)
+    print()
+    print(format_table(
+        ["model", "activation", "optimizer", "params+grads", "paper (a/o/pg)"],
+        rows,
+        title="Table I: memory consumption by data type",
+    ))
+    # Every category contributes materially (the paper's point that
+    # recomputation alone cannot win: 58-61% is not activations).
+    for row in rows:
+        for column in (1, 2, 3):
+            assert float(row[column].rstrip("%")) > 1.0
+    # Under mixed-precision accounting (the GPT/DAPPLE row), optimizer
+    # state is ~3x params+grads — the Table I 46% vs 15% split.
+    gpt = rows[1]
+    optimizer = float(gpt[2].rstrip("%"))
+    params_grads = float(gpt[3].rstrip("%"))
+    assert 2.0 < optimizer / params_grads < 4.0

@@ -1,0 +1,68 @@
+"""Table II: GPU memory demands per training job.
+
+Paper rows (GB): e.g. Bert-0.64B total 227.0, max 50.6, min 6.4;
+GPT-5.3B total 164.8, max 28.5, min 12.7.  Shapes to hold: totals
+grow with model size, per-stage max/min strongly imbalanced, and the
+max-stage values near the paper's (the calibration anchors).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.profiler import Profiler
+from repro.hardware import dgx1_server
+from repro.job import dapple_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+
+PAPER_GB = {
+    "Bert-0.35B": (108.8, 24.7, 3.7),
+    "Bert-0.64B": (227.0, 50.6, 6.4),
+    "Bert-1.67B": (345.9, 78.0, 8.8),
+    "Bert-4.0B": (578.7, 128.3, 16.3),
+    "Bert-6.2B": (1279.1, 280.6, 35.5),
+    "GPT-5.3B": (164.8, 28.5, 12.7),
+    "GPT-10.3B": (325.0, 56.4, 24.9),
+    "GPT-15.4B": (486.7, 84.5, 37.2),
+    "GPT-20.4B": (646.9, 112.4, 49.4),
+    "GPT-25.5B": (806.2, 140.1, 61.5),
+}
+
+
+def _jobs():
+    server = dgx1_server()
+    for billions in (0.35, 0.64, 1.67, 4.0, 6.2):
+        yield f"Bert-{billions}B", pipedream_job(bert_variant(billions), server)
+    for billions in (5.3, 10.3, 15.4, 20.4, 25.5):
+        yield f"GPT-{billions}B", dapple_job(gpt_variant(billions), server)
+
+
+def _measure():
+    rows = []
+    for name, job in _jobs():
+        profile = Profiler(job).run()
+        peaks_gb = [p / 1e9 for p in profile.stage_peaks]
+        paper = PAPER_GB[name]
+        rows.append([
+            name,
+            f"{sum(peaks_gb):.1f}",
+            f"{max(peaks_gb):.1f}",
+            f"{min(peaks_gb):.1f}",
+            f"{paper[0]} / {paper[1]} / {paper[2]}",
+        ])
+    return rows
+
+
+def test_table2_memory_demand(once):
+    rows = once(_measure)
+    print()
+    print(format_table(
+        ["job", "total GB", "max/stage", "min/stage", "paper (tot/max/min)"],
+        rows,
+        title="Table II: GPU memory demands",
+    ))
+    # Totals strictly increase with model size within each family.
+    bert_totals = [float(r[1]) for r in rows[:5]]
+    gpt_totals = [float(r[1]) for r in rows[5:]]
+    assert bert_totals == sorted(bert_totals)
+    assert gpt_totals == sorted(gpt_totals)
+    # Strong max/min imbalance everywhere.
+    for row in rows:
+        assert float(row[2]) > 1.8 * float(row[3])

@@ -1,0 +1,24 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series.  Heavy experiments run exactly
+once per benchmark (``rounds=1``) — the interesting output is the
+experiment's result, not micro-timing jitter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func):
+        return run_once(benchmark, func)
+
+    return runner

@@ -1,0 +1,39 @@
+"""Scenario: how far can each memory-saving technique scale Bert?
+
+Sweeps the paper's Bert variants (0.35B - 6.2B parameters) on a
+DGX-1-class server through PipeDream with each memory-saving system,
+reproducing the shape of the paper's Figure 7: recomputation dies at
+the model-state wall, GPU-CPU swap survives but crawls, and MPress
+is the only fast system at every size.
+
+Run:  python examples/bert_scaling_pipedream.py
+"""
+
+from repro import bert_variant, dgx1_server, pipedream_job, run_system
+from repro.analysis.reporting import format_table
+
+SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "mpress")
+SIZES = (0.35, 0.64, 1.67, 4.0, 6.2)
+
+
+def main() -> None:
+    server = dgx1_server()
+    rows = []
+    for billions in SIZES:
+        job = pipedream_job(bert_variant(billions), server)
+        cells = []
+        for system in SYSTEMS:
+            result = run_system(job, system)
+            cells.append(f"{result.tflops:.0f} TF" if result.ok else "OOM")
+        rows.append([f"Bert-{billions}B", *cells])
+        print(f"finished Bert-{billions}B")
+    print()
+    print(format_table(
+        ["model", *SYSTEMS],
+        rows,
+        title="Bert + PipeDream on DGX-1 (aggregate TFLOPS; cf. paper Fig. 7)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Scenario: plan MPress on your own hardware description.
+
+The library is not tied to the paper's two DGX machines: describe any
+server — GPUs, NVLink topology, host memory, NVMe — and the planner
+adapts.  This example builds a 4-GPU workstation with 24 GiB cards
+and an asymmetric NVLink bridge layout, then asks MPress how large a
+Bert it can train and at what throughput.
+
+Run:  python examples/custom_hardware.py
+"""
+
+from repro.core.mpress import run_system
+from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
+from repro.hardware.links import NVLINK2
+from repro.hardware.server import Server
+from repro.hardware.topology import Topology
+from repro.job import pipedream_job
+from repro.models import bert_variant
+from repro.units import GiB, GBps, TFLOP, fmt_bytes
+
+
+def workstation() -> Server:
+    """4x 24-GiB GPUs; NVLink bridges pair 0-1 and 2-3 with a thin
+    cross-link, the rest over PCIe."""
+    gpu = GPUSpec(
+        name="ws-24GB",
+        memory_bytes=24 * GiB,
+        peak_fp32=20 * TFLOP,
+        peak_fp16=160 * TFLOP,
+        hbm_bandwidth=900 * GBps,
+    )
+    topology = Topology(
+        n_gpus=4,
+        kind="direct",
+        nvlink=NVLINK2,
+        adjacency={
+            frozenset((0, 1)): 2,
+            frozenset((2, 3)): 2,
+            frozenset((1, 2)): 1,
+            frozenset((0, 3)): 1,
+        },
+    )
+    return Server(
+        name="workstation-4gpu",
+        gpus=[gpu] * 4,
+        topology=topology,
+        host=HostSpec(memory_bytes=256 * GiB, vcpus=32),
+        nvme=NVMeSpec(capacity_bytes=2 * 1024 * GiB,
+                      read_bandwidth=5 * GBps, write_bandwidth=3 * GBps),
+    )
+
+
+def main() -> None:
+    server = workstation()
+    print(f"server: {server.name}, {server.n_gpus}x {fmt_bytes(server.gpu_memory)}")
+    for billions in (0.35, 0.64, 1.67):
+        job = pipedream_job(bert_variant(billions), server, microbatch_size=8)
+        plain = run_system(job, "none")
+        mpress = run_system(job, "mpress")
+        plain_cell = f"{plain.tflops:.0f} TF" if plain.ok else "OOM"
+        mpress_cell = f"{mpress.tflops:.0f} TF" if mpress.ok else "OOM"
+        print(f"Bert-{billions}B: plain={plain_cell:>6}  mpress={mpress_cell:>6}  "
+              f"map={mpress.plan.device_map if mpress.ok else '-'}")
+
+
+if __name__ == "__main__":
+    main()

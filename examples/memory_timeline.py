@@ -1,0 +1,78 @@
+"""Scenario: visualize pipeline execution and memory evolution.
+
+Recreates the paper's Figure 1 on a 3-worker pipeline: the 1F1B
+timeline (forward boxes as microbatch digits, backward as dots) and
+the per-worker memory curve showing why early workers accumulate
+more — the imbalance MPress's D2D swap exploits.
+
+Run:  python examples/memory_timeline.py
+"""
+
+from repro.hardware.device import GPUSpec, HostSpec
+from repro.hardware.server import Server
+from repro.hardware.topology import dgx2_topology
+from repro.job import TrainingJob
+from repro.models.config import TransformerConfig
+from repro.models.layers import build_model
+from repro.sim.executor import simulate
+from repro.units import GiB, GBps, TFLOP
+
+
+def three_worker_server() -> Server:
+    gpu = GPUSpec("demo-gpu", 8 * GiB, 10 * TFLOP, 80 * TFLOP, 500 * GBps)
+    return Server(
+        name="demo-3gpu",
+        gpus=[gpu] * 3,
+        topology=dgx2_topology(n_gpus=3),
+        host=HostSpec(memory_bytes=64 * GiB),
+    )
+
+
+def demo_model():
+    config = TransformerConfig(
+        name="Demo", n_layers=7, hidden=256, heads=4,
+        vocab=1000, seq_len=64, max_positions=128,
+    )
+    return build_model(config)
+
+
+def ascii_curve(timeline, width=70, height=8) -> str:
+    """Render one device's memory timeline as a small ASCII plot."""
+    if not timeline:
+        return "(no samples)"
+    t_max = max(t for t, _ in timeline) or 1.0
+    m_max = max(m for _, m in timeline) or 1
+    grid = [[" "] * width for _ in range(height)]
+    for t, m in timeline:
+        col = min(width - 1, int(t / t_max * (width - 1)))
+        row = min(height - 1, int(m / m_max * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    return "\n".join("|" + "".join(row) for row in grid)
+
+
+def main() -> None:
+    for system, mpm, n_mb in (("pipedream", 1, 9), ("dapple", 6, 2)):
+        job = TrainingJob(
+            model=demo_model(),
+            server=three_worker_server(),
+            system=system,
+            microbatch_size=2,
+            microbatches_per_minibatch=mpm,
+            n_minibatches=n_mb,
+            precision="fp16",
+            mfu=0.5,
+        )
+        result = simulate(job, strict=False)
+        print(f"=== {system} (Figure 1{'a' if system == 'pipedream' else 'b'}) ===")
+        print(result.trace.render_timeline(width=72))
+        print()
+        for device in range(3):
+            gpu = result.memory.gpu(device)
+            print(f"worker {device + 1} memory over time "
+                  f"(peak {gpu.peak / 2**20:.0f} MiB):")
+            print(ascii_curve(gpu.timeline))
+        print()
+
+
+if __name__ == "__main__":
+    main()

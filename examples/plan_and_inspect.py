@@ -1,0 +1,53 @@
+"""Scenario: plan once offline, persist, replay, and inspect.
+
+MPress Static runs once; real training reuses its plan for millions
+of iterations (the paper's Figure 5 split). This example builds a
+plan, saves it to JSON, reloads it into a fresh strict run, verifies
+the execution with the audit module, and exports a Chrome trace for
+visual inspection.
+
+Run:  python examples/plan_and_inspect.py
+"""
+
+import os
+import tempfile
+
+from repro import bert_variant, dgx1_server, pipedream_job, simulate
+from repro.core.mpress import MPress
+from repro.core.serialization import load_plan, save_plan
+from repro.sim.audit import audit_simulation
+from repro.sim.chrome_trace import save_chrome_trace
+
+
+def main() -> None:
+    job = pipedream_job(bert_variant(0.64), dgx1_server())
+
+    # Offline: profile, plan, persist.
+    mpress = MPress(job)
+    plan = mpress.build_plan()
+    workdir = tempfile.mkdtemp(prefix="mpress-")
+    plan_path = os.path.join(workdir, "plan.json")
+    save_plan(plan, plan_path)
+    print(f"plan built ({len(plan.entries)} entries) and saved to {plan_path}")
+    print(plan.summary())
+    print()
+
+    # Online: reload and execute under strict memory limits.
+    reloaded = load_plan(plan_path)
+    result = simulate(job, reloaded, strict=True)
+    print(f"replayed run: {'ok' if result.ok else 'OOM'} — "
+          f"{result.tflops:.1f} TFLOPS")
+
+    # Verify the execution's invariants.
+    report = audit_simulation(result)
+    print(f"audit: {'clean' if report.ok else report.violations}")
+
+    # Export for chrome://tracing.
+    trace_path = os.path.join(workdir, "trace.json")
+    save_chrome_trace(result.trace, trace_path)
+    print(f"chrome trace at {trace_path} "
+          f"({len(result.trace.events)} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: train a Bert that does not fit, with MPress.
+
+Builds the paper's medium scenario — Bert-0.64B on a DGX-1-class
+server, where plain PipeDream runs out of GPU memory — and shows
+MPress planning its way to a successful run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import bert_variant, dgx1_server, pipedream_job, run_system
+from repro.units import fmt_bytes
+
+
+def main() -> None:
+    server = dgx1_server()
+    model = bert_variant(0.64)
+    job = pipedream_job(model, server)
+    print(f"model:  {model.config.describe()}")
+    print(f"server: {server.name}, {server.n_gpus}x {fmt_bytes(server.gpu_memory)} GPUs")
+    print()
+
+    # Without memory optimization the job dies (the paper's Fig. 7).
+    plain = run_system(job, "none")
+    print(f"PipeDream alone: {'ok' if plain.ok else 'OUT OF MEMORY'}")
+    if not plain.ok:
+        print(f"  -> {plain.simulation.oom}")
+    print()
+
+    # MPress: profile, plan (D2D swap + GPU-CPU swap + recomputation),
+    # then run under real memory constraints.
+    mpress = run_system(job, "mpress")
+    print(f"MPress: {'ok' if mpress.ok else 'failed'}")
+    print(f"  device map:       {mpress.plan.device_map}")
+    print(f"  throughput:       {mpress.tflops:.1f} TFLOPS "
+          f"({mpress.samples_per_second:.1f} samples/s)")
+    peaks = mpress.simulation.peak_memory_per_gpu
+    print(f"  per-GPU peaks:    {' '.join(fmt_bytes(p) for p in peaks)}")
+    print()
+    print("memory-saving plan:")
+    print(mpress.plan.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""MPress reproduction: memory-saving inter-operator parallel training.
+
+Public API quick reference::
+
+    from repro import bert_variant, dgx1_server, pipedream_job, run_system
+
+    job = pipedream_job(bert_variant(0.64), dgx1_server())
+    result = run_system(job, "mpress")
+    print(result.tflops, result.simulation.peak_memory_per_gpu)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.hardware import dgx1_server, dgx2_server
+from repro.job import TrainingJob, dapple_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bert_variant",
+    "gpt_variant",
+    "dgx1_server",
+    "dgx2_server",
+    "TrainingJob",
+    "pipedream_job",
+    "dapple_job",
+    "run_system",
+    "simulate",
+    "MPress",
+    "run_zero",
+]
+
+
+def __getattr__(name):
+    # Heavier subsystems import lazily to keep `import repro` light.
+    if name in ("run_system", "MPress"):
+        from repro.core import mpress
+
+        return getattr(mpress, name)
+    if name == "simulate":
+        from repro.sim.executor import simulate
+
+        return simulate
+    if name == "run_zero":
+        from repro.baselines.zero import run_zero
+
+        return run_zero
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,6 @@
+"""Metrics and report formatting for experiments."""
+
+from repro.analysis.metrics import throughput_summary, speedup
+from repro.analysis.reporting import format_table, format_series
+
+__all__ = ["throughput_summary", "speedup", "format_table", "format_series"]

@@ -1,0 +1,24 @@
+"""Throughput and comparison metrics (the paper's Section IV-A)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.executor import SimulationResult
+
+
+def throughput_summary(result: SimulationResult) -> Dict[str, float]:
+    """Samples/s, aggregate TFLOPS, and minibatch period of one run."""
+    return {
+        "ok": 1.0 if result.ok else 0.0,
+        "samples_per_second": result.samples_per_second,
+        "tflops": result.tflops,
+        "minibatch_time": result.minibatch_time,
+    }
+
+
+def speedup(candidate_tflops: float, baseline_tflops: float) -> Optional[float]:
+    """Throughput ratio candidate/baseline; None when either failed."""
+    if candidate_tflops <= 0 or baseline_tflops <= 0:
+        return None
+    return candidate_tflops / baseline_tflops

@@ -1,0 +1,98 @@
+"""Terminal plotting: bar charts and grouped bars for the figures.
+
+The benchmarks print their numbers as tables; these helpers render
+the same data the way the paper's figures look — grouped bars per
+model size with one bar per system — entirely in ASCII so results
+are readable in CI logs and shell sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """A horizontal bar chart; zero/None values render as 'OOM'.
+
+    >>> print(bar_chart(["a", "b"], [2.0, 1.0], width=4))
+    a  ████ 2.00
+    b  ██   1.00
+    """
+    cleaned = [0.0 if v is None else float(v) for v in values]
+    top = max(cleaned) if cleaned else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, cleaned):
+        if value <= 0:
+            bar, rendered = "", "OOM"
+        else:
+            length = max(1, round(width * value / top)) if top > 0 else 0
+            bar = "█" * length
+            rendered = f"{value:.2f}{unit}"
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} {rendered}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series.
+
+    Matches the paper's Figure 7/8 layout — groups are model sizes,
+    series are the systems.
+    """
+    flat = [
+        float(v)
+        for values in series.values()
+        for v in values
+        if v is not None and v > 0
+    ]
+    top = max(flat) if flat else 0.0
+    name_width = max((len(name) for name in series), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index] if index < len(values) else None
+            if value is None or value <= 0:
+                bar, rendered = "", "OOM"
+            else:
+                length = max(1, round(width * value / top)) if top > 0 else 0
+                bar = "█" * length
+                rendered = f"{value:.1f}{unit}"
+            lines.append(f"  {name.ljust(name_width)}  {bar.ljust(width)} {rendered}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact one-line trend: memory curves, emulation trajectories.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    cleaned = [float(v) for v in values]
+    if not cleaned:
+        return ""
+    low, high = min(cleaned), max(cleaned)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(cleaned)
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * (len(blocks) - 1) + 0.5))]
+        for v in cleaned
+    )

@@ -1,0 +1,162 @@
+"""Hardware-trend projection (the paper's Section V).
+
+The paper closes with an analysis of the Grace-Hopper class of
+superchips: even with 96 GB HBM + 512 GB of directly-attached CPU
+memory per device, GPT-3-175B training still overflows the fast
+tier, and hiding the resulting swap traffic completely would need
+well above the chip's CPU-link bandwidth — so D2D swap remains
+valuable, either rescuing the ~25% compute recomputation wastes or
+avoiding double-digit slowdowns from exposed swap time.
+
+This module reproduces that projection analytically from the same
+cost formulas the simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models import costs
+from repro.models.config import TransformerConfig
+from repro.models.layers import build_model
+from repro.units import GiB, GBps, TFLOP
+
+
+@dataclass(frozen=True)
+class SuperchipSpec:
+    """One CPU+GPU superchip (Grace-Hopper class)."""
+
+    name: str
+    hbm_bytes: int
+    cpu_bytes: int
+    cpu_link_bandwidth: float   # GPU <-> its CPU memory, unidirectional
+    peak_fp16: float
+    mfu: float = 0.45
+
+    def __post_init__(self) -> None:
+        if min(self.hbm_bytes, self.cpu_bytes) <= 0:
+            raise ConfigurationError("superchip memory sizes must be positive")
+        if self.cpu_link_bandwidth <= 0 or self.peak_fp16 <= 0:
+            raise ConfigurationError("superchip rates must be positive")
+
+
+# The paper's Section V figures: 96 GB HBM + 512 GB Grace memory and
+# a 64 GB/s PCIe-class path to further memory.
+GRACE_HOPPER = SuperchipSpec(
+    name="Grace-Hopper",
+    hbm_bytes=96 * GiB,
+    cpu_bytes=512 * GiB,
+    cpu_link_bandwidth=64 * GBps,
+    peak_fp16=990 * TFLOP,
+)
+
+
+def gpt3_model():
+    """GPT-3 175B (96 layers x hidden 12288, sequence 2048)."""
+    config = TransformerConfig(
+        name="GPT-3-175B",
+        n_layers=96,
+        hidden=12288,
+        heads=96,
+        vocab=50_257,
+        seq_len=2048,
+        max_positions=2048,
+    )
+    return build_model(config)
+
+
+@dataclass(frozen=True)
+class ProjectionReport:
+    """Section V's quantities for one (model, superchip fleet) pair."""
+
+    model_name: str
+    n_devices: int
+    state_bytes_per_device: int
+    activation_bytes_per_device: int
+    fits_hbm: bool
+    fits_with_cpu_memory: bool
+    required_hiding_bandwidth: float  # per device, to fully hide swaps
+    swap_exposed_fraction: float      # of iteration time, at chip bandwidth
+    recompute_waste_fraction: float   # compute wasted if recomputing instead
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.model_name} on {self.n_devices} superchips:",
+            f"  state/device {self.state_bytes_per_device / GiB:.0f} GiB, "
+            f"activations/device {self.activation_bytes_per_device / GiB:.0f} GiB",
+            f"  fits in HBM: {self.fits_hbm}; "
+            f"fits with CPU memory: {self.fits_with_cpu_memory}",
+            f"  bandwidth to fully hide swaps: "
+            f"{self.required_hiding_bandwidth / GBps:.0f} GB/s per device",
+            f"  exposed swap time at chip bandwidth: "
+            f"{100 * self.swap_exposed_fraction:.0f}% of iteration",
+            f"  recomputation alternative wastes "
+            f"{100 * self.recompute_waste_fraction:.0f}% of compute",
+        ]
+        return "\n".join(lines)
+
+
+def project(
+    model=None,
+    superchip: SuperchipSpec = GRACE_HOPPER,
+    n_devices: int = 8,
+    microbatch: int = 1,
+    in_flight: int = None,
+) -> ProjectionReport:
+    """Project pipeline training of ``model`` onto superchips.
+
+    The pipeline analysis mirrors the simulator's: stage 0 of an
+    ``n_devices``-deep pipeline holds ``in_flight`` microbatch
+    generations (default: pipeline depth) of its layer slice.
+    """
+    if model is None:
+        model = gpt3_model()
+    if in_flight is None:
+        in_flight = n_devices
+    params = model.total_params
+    state_per_device = params * 16 // n_devices
+
+    layers_per_stage = max(1, model.config.n_layers // n_devices)
+    act_per_layer = costs.layer_activation_bytes(
+        model.config.hidden, model.config.seq_len, microbatch,
+        model.config.heads, bytes_per_element=2,
+    )
+    act_per_device = act_per_layer * layers_per_stage * in_flight
+
+    demand = state_per_device + act_per_device
+    fits_hbm = demand <= superchip.hbm_bytes
+    fits_with_cpu = demand <= superchip.hbm_bytes + superchip.cpu_bytes
+
+    # Swap traffic to keep only the working set in HBM: everything
+    # beyond HBM round-trips once per iteration window.
+    overflow = max(0, demand - superchip.hbm_bytes)
+    swap_bytes = 2 * overflow
+
+    # The hiding window: one stage's compute per in-flight generation.
+    stage_flops = sum(
+        layer.forward_flops(microbatch) + layer.backward_flops(microbatch)
+        for layer in model.layers[1:1 + layers_per_stage]
+    ) * in_flight
+    window = stage_flops / (superchip.peak_fp16 * superchip.mfu)
+    required_bandwidth = swap_bytes / window if window > 0 else float("inf")
+
+    swap_time = swap_bytes / superchip.cpu_link_bandwidth
+    exposed = max(0.0, swap_time - window)
+    swap_exposed_fraction = exposed / (window + exposed) if window > 0 else 1.0
+
+    # Recomputing instead of swapping re-runs the forward pass: one
+    # extra forward out of (forward + 2x-forward backward + forward).
+    recompute_waste = 1.0 / 4.0
+
+    return ProjectionReport(
+        model_name=model.config.name,
+        n_devices=n_devices,
+        state_bytes_per_device=state_per_device,
+        activation_bytes_per_device=act_per_device,
+        fits_hbm=fits_hbm,
+        fits_with_cpu_memory=fits_with_cpu,
+        required_hiding_bandwidth=required_bandwidth,
+        swap_exposed_fraction=swap_exposed_fraction,
+        recompute_waste_fraction=recompute_waste,
+    )

@@ -1,0 +1,41 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Every benchmark prints the rows/series its paper table or figure
+reports, using these helpers so output stays uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Fixed-width table; all cells rendered with str()."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append(render(["-" * width for width in widths]))
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, unit: str = "") -> str:
+    """One figure series as 'name: x=y' pairs."""
+    pairs = ", ".join(f"{x}={_fmt(y)}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,95 @@
+"""Experiment sweeps: run grids of (model, system) cells and export.
+
+A thin driver over :func:`repro.core.mpress.run_system` and the ZeRO
+baselines that collects one row per cell — what the figure benches do
+by hand — plus CSV export so results feed external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.job import TrainingJob
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (model, system) measurement."""
+
+    model: str
+    system: str
+    ok: bool
+    tflops: float
+    samples_per_second: float
+    minibatch_time: float
+    peak_gib: float
+
+    @property
+    def cell(self) -> str:
+        return f"{self.tflops:.0f}" if self.ok else "OOM"
+
+
+FIELDS = ["model", "system", "ok", "tflops", "samples_per_second",
+          "minibatch_time", "peak_gib"]
+
+
+def run_sweep(
+    jobs: Dict[str, TrainingJob],
+    systems: Sequence[str],
+    runner: Optional[Callable] = None,
+) -> List[SweepCell]:
+    """Run every (job, system) cell; ``runner`` defaults to run_system."""
+    if runner is None:
+        from repro.core.mpress import run_system as runner
+    cells: List[SweepCell] = []
+    for model_name, job in jobs.items():
+        for system in systems:
+            result = runner(job, system)
+            simulation = result.simulation
+            peak = max(simulation.peak_memory_per_gpu) if simulation.ok else 0
+            cells.append(
+                SweepCell(
+                    model=model_name,
+                    system=system,
+                    ok=result.ok,
+                    tflops=result.tflops,
+                    samples_per_second=result.samples_per_second,
+                    minibatch_time=simulation.minibatch_time,
+                    peak_gib=peak / 2**30,
+                )
+            )
+    return cells
+
+
+def to_csv(cells: Sequence[SweepCell]) -> str:
+    """Render sweep cells as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for cell in cells:
+        writer.writerow({
+            "model": cell.model,
+            "system": cell.system,
+            "ok": int(cell.ok),
+            "tflops": f"{cell.tflops:.3f}",
+            "samples_per_second": f"{cell.samples_per_second:.3f}",
+            "minibatch_time": f"{cell.minibatch_time:.6f}",
+            "peak_gib": f"{cell.peak_gib:.3f}",
+        })
+    return buffer.getvalue()
+
+
+def save_csv(cells: Sequence[SweepCell], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_csv(cells))
+
+
+def pivot(cells: Sequence[SweepCell]) -> Dict[str, Dict[str, SweepCell]]:
+    """model -> system -> cell, for table/figure rendering."""
+    table: Dict[str, Dict[str, SweepCell]] = {}
+    for cell in cells:
+        table.setdefault(cell.model, {})[cell.system] = cell
+    return table

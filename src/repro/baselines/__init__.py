@@ -1,0 +1,12 @@
+"""Baseline systems the paper compares MPress against.
+
+Pipeline-based baselines (original PipeDream/DAPPLE, recomputation,
+GPU-CPU swap, MPress-D2D-only) reuse the planner with technique
+toggles — see :func:`repro.core.mpress.run_system`.  The ZeRO family
+(data-parallel) is modelled here analytically on the same hardware
+specifications.
+"""
+
+from repro.baselines.zero import ZeroResult, run_zero, zero_memory_per_gpu
+
+__all__ = ["ZeroResult", "run_zero", "zero_memory_per_gpu"]

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --model bert-0.64 --server dgx1 --system mpress
+    python -m repro profile --model gpt-10.3 --server dgx1
+    python -m repro plan --model gpt-20.4 --server dgx1 --out plan.json
+    python -m repro zero --model gpt-25.5 --server dgx2 --variant infinity
+    python -m repro capacity --family bert --server dgx1 --system recomputation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import Server, dgx1_server, dgx2_server
+from repro.job import TrainingJob, dapple_job, gpipe_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+from repro.models.bert import BERT_VARIANTS
+from repro.models.gpt import GPT_VARIANTS
+from repro.units import fmt_bytes
+
+SERVERS = {"dgx1": dgx1_server, "dgx2": dgx2_server}
+SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "d2d-only", "mpress")
+
+
+def _parse_model(spec: str):
+    """'bert-0.64' / 'gpt-10.3' -> a model variant."""
+    try:
+        family, size = spec.split("-", 1)
+        billions = float(size.rstrip("bB"))
+    except ValueError:
+        raise ConfigurationError(
+            f"model spec {spec!r} must look like 'bert-0.64' or 'gpt-10.3'"
+        )
+    if family.lower() == "bert":
+        return bert_variant(billions)
+    if family.lower() == "gpt":
+        return gpt_variant(billions)
+    raise ConfigurationError(f"unknown model family {family!r}")
+
+
+def _build_server(name: str) -> Server:
+    builder = SERVERS.get(name)
+    if builder is None:
+        raise ConfigurationError(f"unknown server {name!r}; options: {sorted(SERVERS)}")
+    return builder()
+
+
+def _build_job(args) -> TrainingJob:
+    if getattr(args, "spec", None):
+        from repro.jobspec import load_job
+
+        return load_job(args.spec)
+    if not args.model:
+        raise ConfigurationError("either --model or --spec is required")
+    model = _parse_model(args.model)
+    server = _build_server(args.server)
+    builders = {"pipedream": pipedream_job, "dapple": dapple_job, "gpipe": gpipe_job}
+    builder = builders.get(args.pipeline)
+    if builder is None:
+        raise ConfigurationError(f"unknown pipeline {args.pipeline!r}")
+    kwargs = {}
+    if args.microbatch is not None:
+        kwargs["microbatch_size"] = args.microbatch
+    return builder(model, server, **kwargs)
+
+
+def _default_pipeline(model_spec: str) -> str:
+    return "pipedream" if model_spec.lower().startswith("bert") else "dapple"
+
+
+# -- subcommands --------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    import dataclasses
+
+    from repro.core.mpress import MPress, run_system
+    from repro.core.planner import baseline_config
+    from repro.core.serialization import save_plan
+    from repro.sim.chrome_trace import save_chrome_trace
+
+    job = _build_job(args)
+    custom_knobs = getattr(args, "no_striping", False) or (
+        getattr(args, "mapping", "auto") != "auto"
+    )
+    if custom_knobs and args.system != "none":
+        config = dataclasses.replace(
+            baseline_config(args.system),
+            striping=not args.no_striping,
+            mapping_mode=args.mapping,
+        )
+        result = MPress(job, config).run()
+    else:
+        result = run_system(job, args.system)
+    status = "ok" if result.ok else "OUT OF MEMORY"
+    print(f"{job.model.config.name} / {args.system} on {job.server.name}: {status}")
+    if result.ok:
+        print(f"  throughput: {result.tflops:.1f} TFLOPS "
+              f"({result.samples_per_second:.1f} samples/s)")
+        peaks = result.simulation.peak_memory_per_gpu
+        print(f"  per-GPU peaks: {' '.join(fmt_bytes(p) for p in peaks)}")
+        print(result.plan.summary())
+    if args.save_plan:
+        save_plan(result.plan, args.save_plan)
+        print(f"  plan written to {args.save_plan}")
+    if args.chrome_trace and result.ok:
+        save_chrome_trace(result.simulation.trace, args.chrome_trace)
+        print(f"  chrome trace written to {args.chrome_trace}")
+    return 0 if result.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.profiler import Profiler
+
+    job = _build_job(args)
+    profile = Profiler(job).run()
+    print(f"{job.model.config.name} on {job.server.name} ({job.system}):")
+    for stage, peak in enumerate(profile.stage_peaks):
+        flag = " OVER" if peak > job.server.gpu_memory else ""
+        print(f"  stage {stage}: {fmt_bytes(peak)}{flag}")
+    print(f"  total demand {fmt_bytes(profile.total_demand())} "
+          f"vs {fmt_bytes(job.server.total_gpu_memory)} available")
+    shares = profile.memory_breakdown_percent()
+    print("  breakdown: " + ", ".join(f"{k} {v:.0f}%" for k, v in shares.items()))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.mpress import MPress
+    from repro.core.serialization import save_plan
+
+    job = _build_job(args)
+    mpress = MPress(job)
+    plan = mpress.build_plan()
+    report = mpress.planner_report
+    print(plan.summary())
+    print(f"feasible: {report.feasible}; emulated minibatch "
+          f"{report.final_time:.2f}s after {report.refine_iterations} refinements")
+    if args.out:
+        save_plan(plan, args.out)
+        print(f"plan written to {args.out}")
+    return 0 if report.feasible else 1
+
+
+def _cmd_zero(args) -> int:
+    from repro.baselines.zero import run_zero
+
+    model = _parse_model(args.model)
+    server = _build_server(args.server)
+    result = run_zero(model, server, args.variant, args.samples)
+    if not result.ok:
+        print(f"ZeRO-{args.variant} cannot train {model.config.name}: {result.reason}")
+        return 1
+    print(f"ZeRO-{args.variant} / {model.config.name} on {server.name}: "
+          f"{result.tflops:.1f} TFLOPS "
+          f"(compute {result.compute_time:.2f}s, "
+          f"comm exposed {result.comm_exposed:.2f}s, "
+          f"offload exposed {result.offload_exposed:.2f}s)")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.core.capacity import max_trainable_variant
+
+    server = _build_server(args.server)
+    if args.family == "bert":
+        variants = {b: bert_variant(b) for b in sorted(BERT_VARIANTS)}
+        builder = lambda model: pipedream_job(model, server)  # noqa: E731
+    else:
+        variants = {b: gpt_variant(b) for b in sorted(GPT_VARIANTS)}
+        builder = lambda model: dapple_job(model, server)  # noqa: E731
+    result = max_trainable_variant(variants, builder, args.system)
+    if result.any_trainable:
+        print(f"largest trainable {args.family} under {args.system}: "
+              f"{result.largest}B (survivors: {result.survivors})")
+        return 0
+    print(f"no {args.family} variant trainable under {args.system}")
+    return 1
+
+
+def _cmd_project(args) -> int:
+    from repro.analysis.projection import project
+
+    print(project(n_devices=args.devices).summary())
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPress (HPCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_job_args(p):
+        p.add_argument("--model", default=None, help="e.g. bert-0.64 or gpt-10.3")
+        p.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+        p.add_argument("--pipeline", default=None,
+                       choices=("pipedream", "dapple", "gpipe"))
+        p.add_argument("--microbatch", type=int, default=None)
+        p.add_argument("--spec", default=None, metavar="PATH",
+                       help="JSON job spec (overrides the flags above)")
+
+    run = sub.add_parser("run", help="simulate one training job")
+    add_job_args(run)
+    run.add_argument("--system", default="mpress", choices=SYSTEMS)
+    run.add_argument("--no-striping", action="store_true",
+                     help="disable D2D data striping (Figure 9 ablation)")
+    run.add_argument("--mapping", default="auto",
+                     choices=("auto", "exact", "greedy", "identity"),
+                     help="device-mapping search mode")
+    run.add_argument("--save-plan", default=None, metavar="PATH")
+    run.add_argument("--chrome-trace", default=None, metavar="PATH")
+    run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser("profile", help="per-stage memory demands")
+    add_job_args(profile)
+    profile.set_defaults(func=_cmd_profile)
+
+    plan = sub.add_parser("plan", help="build and save a memory-saving plan")
+    add_job_args(plan)
+    plan.add_argument("--out", default=None, metavar="PATH")
+    plan.set_defaults(func=_cmd_plan)
+
+    zero = sub.add_parser("zero", help="evaluate a ZeRO baseline")
+    zero.add_argument("--model", required=True)
+    zero.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+    zero.add_argument("--variant", default="offload", choices=("offload", "infinity"))
+    zero.add_argument("--samples", type=int, default=32)
+    zero.set_defaults(func=_cmd_zero)
+
+    capacity = sub.add_parser("capacity", help="largest trainable variant")
+    capacity.add_argument("--family", required=True, choices=("bert", "gpt"))
+    capacity.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+    capacity.add_argument("--system", default="mpress", choices=SYSTEMS)
+    capacity.set_defaults(func=_cmd_capacity)
+
+    project = sub.add_parser("project", help="Section V superchip projection")
+    project.add_argument("--devices", type=int, default=8)
+    project.set_defaults(func=_cmd_project)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "pipeline", None) is None and getattr(args, "model", None):
+        if hasattr(args, "microbatch"):
+            args.pipeline = _default_pipeline(args.model)
+    try:
+        return args.func(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

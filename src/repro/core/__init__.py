@@ -1,0 +1,55 @@
+"""MPress core: the paper's contribution.
+
+Static part (Figure 5): profiler -> planner -> rewriter -> emulator,
+iterating to a memory-saving plan.  Key techniques: D2D swap with
+data striping (Section III-C), device-mapping search (Figure 6), and
+memory-compaction planning combining D2D swap, GPU-CPU swap, and
+recomputation (Section III-D).
+
+Attributes are resolved lazily so low-level modules (``core.plan``,
+``core.striping``) can be imported by the simulator without pulling
+the whole planning stack in (which would be a circular import).
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "Action": "repro.core.plan",
+    "PlanEntry": "repro.core.plan",
+    "MemorySavingPlan": "repro.core.plan",
+    "empty_plan": "repro.core.plan",
+    "validate_plan": "repro.core.plan",
+    "StripeBlock": "repro.core.striping",
+    "StripePlan": "repro.core.striping",
+    "build_stripe_plan": "repro.core.striping",
+    "distribute_weighted": "repro.core.striping",
+    "MappingResult": "repro.core.device_mapping",
+    "search_device_mapping": "repro.core.device_mapping",
+    "CostModel": "repro.core.cost_model",
+    "TensorCosts": "repro.core.cost_model",
+    "Profiler": "repro.core.profiler",
+    "ProfileStats": "repro.core.profiler",
+    "Rewriter": "repro.core.rewriter",
+    "InstrumentedProgram": "repro.core.rewriter",
+    "Emulator": "repro.core.emulator",
+    "EmulationReport": "repro.core.emulator",
+    "Planner": "repro.core.planner",
+    "PlannerConfig": "repro.core.planner",
+    "PlannerReport": "repro.core.planner",
+    "baseline_config": "repro.core.planner",
+    "MPress": "repro.core.mpress",
+    "MPressResult": "repro.core.mpress",
+    "run_system": "repro.core.mpress",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,96 @@
+"""Capacity search: largest sustainable model and batch sizes.
+
+The paper's Section II-C and Table II revolve around "largest
+sustainable model sizes" — the biggest variant each system trains
+before OOM.  This module searches that boundary:
+
+* :func:`max_trainable_variant` walks a model family (Bert or GPT
+  variants) under a given system and reports the largest survivor;
+* :func:`max_microbatch` binary-searches the largest microbatch size
+  a fixed model sustains (the paper's mb=12 vs mb=2 Bert results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.mpress import run_system
+from repro.errors import ConfigurationError
+from repro.hardware.server import Server
+from repro.job import TrainingJob
+from repro.models.layers import ModelSpec
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Outcome of a capacity search."""
+
+    largest: Optional[float]          # variant key (billions) or batch size
+    survivors: List[float]
+    failures: List[float]
+
+    @property
+    def any_trainable(self) -> bool:
+        return self.largest is not None
+
+
+def max_trainable_variant(
+    variants: Dict[float, ModelSpec],
+    job_builder: Callable[[ModelSpec], TrainingJob],
+    system: str,
+) -> CapacityResult:
+    """Largest variant (by key) the ``system`` trains without OOM.
+
+    ``variants`` maps a sortable key (billions of parameters) to the
+    model; ``job_builder`` turns a model into the training job.
+    Variants are probed in increasing size and the scan stops at the
+    first failure — trainability is monotone in model size.
+    """
+    if not variants:
+        raise ConfigurationError("no variants to search")
+    survivors: List[float] = []
+    failures: List[float] = []
+    for key in sorted(variants):
+        result = run_system(job_builder(variants[key]), system)
+        if result.ok:
+            survivors.append(key)
+        else:
+            failures.append(key)
+            break
+    largest = survivors[-1] if survivors else None
+    return CapacityResult(largest=largest, survivors=survivors, failures=failures)
+
+
+def max_microbatch(
+    job_builder: Callable[[int], TrainingJob],
+    system: str,
+    low: int = 1,
+    high: int = 64,
+) -> CapacityResult:
+    """Largest microbatch size in [low, high] that trains without OOM.
+
+    Binary search — memory grows monotonically with microbatch size.
+    """
+    if low < 1 or high < low:
+        raise ConfigurationError("need 1 <= low <= high")
+
+    def trains(microbatch: int) -> bool:
+        return run_system(job_builder(microbatch), system).ok
+
+    survivors: List[float] = []
+    failures: List[float] = []
+    if not trains(low):
+        return CapacityResult(largest=None, survivors=[], failures=[low])
+    survivors.append(low)
+    lo, hi = low, high
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if trains(mid):
+            survivors.append(mid)
+            lo = mid
+        else:
+            failures.append(mid)
+            hi = mid - 1
+    return CapacityResult(largest=float(lo), survivors=sorted(set(survivors)),
+                          failures=sorted(set(failures)))

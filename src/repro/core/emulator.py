@@ -1,0 +1,66 @@
+"""Emulator: run one instrumented iteration and report back (Fig. 5, step 5).
+
+The emulator executes a tentative plan for a single training
+iteration set in non-strict mode, measuring the achieved iteration
+time and the amount of memory still overflowing — the feedback the
+planner compares against previous configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.plan import Action, MemorySavingPlan
+from repro.core.rewriter import InstrumentedProgram
+from repro.job import TrainingJob
+from repro.sim.executor import SimulationResult, simulate
+
+
+@dataclass
+class EmulationReport:
+    """What one emulated iteration learned about a plan."""
+
+    plan: MemorySavingPlan
+    minibatch_time: float
+    device_peaks: List[int]
+    overflowed_devices: List[int]
+    saved_by_action: Dict[Action, int]
+    result: SimulationResult
+
+    @property
+    def fits(self) -> bool:
+        return not self.overflowed_devices
+
+    def slowdown_vs(self, baseline_time: float) -> float:
+        """Relative extra time vs the uncompacted baseline."""
+        if baseline_time <= 0:
+            return 0.0
+        return self.minibatch_time / baseline_time - 1.0
+
+
+class Emulator:
+    """Runs plans through the simulator in measurement mode."""
+
+    def __init__(self, job: TrainingJob, prefetch_lead: int = 2):
+        self.job = job
+        self.prefetch_lead = prefetch_lead
+
+    def run(self, plan: MemorySavingPlan) -> EmulationReport:
+        result = simulate(
+            self.job, plan, strict=False, prefetch_lead=self.prefetch_lead
+        )
+        capacity = self.job.server.gpu_memory
+        peaks = result.memory.peaks()
+        overflowed = [dev for dev, peak in enumerate(peaks) if peak > capacity]
+        return EmulationReport(
+            plan=plan,
+            minibatch_time=result.minibatch_time,
+            device_peaks=peaks,
+            overflowed_devices=overflowed,
+            saved_by_action=plan.saved_by_action(),
+            result=result,
+        )
+
+    def run_program(self, program: InstrumentedProgram) -> EmulationReport:
+        return self.run(program.plan)

@@ -1,0 +1,134 @@
+"""Plan serialization: persist MPress Static's output.
+
+A memory-saving plan is produced offline (the paper's MPress Static
+runs once; the actual training reuses it for millions of iterations),
+so a real deployment saves the plan next to the job config.  This
+module round-trips :class:`MemorySavingPlan` through plain JSON.
+
+The format is self-contained: tensor classes are embedded, so a plan
+can be loaded without re-profiling — `validate_plan` against freshly
+enumerated classes is still recommended before executing it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.core.plan import Action, MemorySavingPlan, PlanEntry
+from repro.core.striping import StripeBlock, StripePlan
+from repro.errors import PlanError
+from repro.graph.tensor import TensorClass, TensorKind
+
+FORMAT_VERSION = 1
+
+
+def plan_to_dict(plan: MemorySavingPlan) -> Dict:
+    """Lower a plan into JSON-serializable primitives."""
+    entries: List[Dict] = []
+    for entry in plan.entries.values():
+        record = {
+            "class": _class_to_dict(entry.cls),
+            "action": entry.action.value,
+            "tier": entry.tier,
+        }
+        if entry.stripe is not None:
+            record["stripe"] = _stripe_to_dict(entry.stripe)
+        entries.append(record)
+    return {
+        "version": FORMAT_VERSION,
+        "device_map": list(plan.device_map),
+        "entries": entries,
+    }
+
+
+def plan_from_dict(payload: Dict) -> MemorySavingPlan:
+    """Reconstruct a plan serialized by :func:`plan_to_dict`."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise PlanError(f"unsupported plan format version {version!r}")
+    plan = MemorySavingPlan(device_map=list(payload["device_map"]))
+    for record in payload.get("entries", []):
+        cls = _class_from_dict(record["class"])
+        stripe = None
+        if "stripe" in record:
+            stripe = _stripe_from_dict(record["stripe"])
+        plan.assign(
+            PlanEntry(
+                cls=cls,
+                action=Action(record["action"]),
+                stripe=stripe,
+                tier=record.get("tier", "host"),
+            )
+        )
+    return plan
+
+
+def save_plan(plan: MemorySavingPlan, path: str) -> None:
+    """Write a plan to ``path`` as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(plan_to_dict(plan), handle, indent=2, sort_keys=True)
+
+
+def load_plan(path: str) -> MemorySavingPlan:
+    """Read a plan previously written by :func:`save_plan`."""
+    with open(path) as handle:
+        return plan_from_dict(json.load(handle))
+
+
+# -- lowering helpers ---------------------------------------------------------
+
+
+def _class_to_dict(cls: TensorClass) -> Dict:
+    return {
+        "kind": cls.kind.value,
+        "stage": cls.stage,
+        "layer": cls.layer,
+        "size": cls.size,
+        "instances": cls.instances,
+        "recomputable": cls.recomputable,
+    }
+
+
+def _class_from_dict(payload: Dict) -> TensorClass:
+    return TensorClass(
+        kind=TensorKind(payload["kind"]),
+        stage=payload["stage"],
+        layer=payload["layer"],
+        size=payload["size"],
+        instances=payload["instances"],
+        recomputable=payload["recomputable"],
+    )
+
+
+def _stripe_to_dict(stripe: StripePlan) -> Dict:
+    return {
+        "exporter": stripe.exporter,
+        "tensor_bytes": stripe.tensor_bytes,
+        "blocks": [
+            {
+                "importer": block.importer,
+                "size": block.size,
+                "lane": list(block.lane),
+                "return_lane": list(block.return_lane),
+            }
+            for block in stripe.blocks
+        ],
+    }
+
+
+def _stripe_from_dict(payload: Dict) -> StripePlan:
+    blocks = tuple(
+        StripeBlock(
+            importer=block["importer"],
+            size=block["size"],
+            lane=tuple(block["lane"]),
+            return_lane=tuple(block["return_lane"]),
+        )
+        for block in payload["blocks"]
+    )
+    return StripePlan(
+        exporter=payload["exporter"],
+        tensor_bytes=payload["tensor_bytes"],
+        blocks=blocks,
+    )

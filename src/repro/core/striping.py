@@ -1,0 +1,193 @@
+"""Data striping for D2D swap (Section III-C).
+
+A tensor swapped device-to-device is partitioned into sub-blocks
+transmitted in parallel over disjoint NVLink lanes.  On symmetric
+topologies (DGX-2) the sub-blocks are equally sized; on asymmetric
+topologies (DGX-1) block sizes are *weighted* by the per-importer
+lane counts so every lane finishes at the same time — e.g. GPU0
+sends twice as much to GPU3 (two bricks) as to GPU1 (one).
+
+A :class:`StripePlan` also acts as the metadata-table entry the
+runtime keeps per swapped tensor: number of sub-blocks, their sizes,
+and the target devices — exactly the record Section III-C describes
+for guiding the later swap-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import PlanError
+from repro.hardware.bandwidth import transfer_time
+from repro.hardware.topology import ChannelKey, Topology
+
+
+@dataclass(frozen=True)
+class StripeBlock:
+    """One sub-block of a striped tensor."""
+
+    importer: int
+    size: int
+    lane: ChannelKey       # exporter -> importer lane
+    return_lane: ChannelKey  # importer -> exporter lane (swap-in path)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise PlanError("stripe blocks must carry positive bytes")
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """Metadata-table entry: how one tensor stripes across peers."""
+
+    exporter: int
+    tensor_bytes: int
+    blocks: Tuple[StripeBlock, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise PlanError("a stripe plan needs at least one block")
+        total = sum(block.size for block in self.blocks)
+        if total != self.tensor_bytes:
+            raise PlanError(
+                f"stripe blocks sum to {total} bytes, tensor is {self.tensor_bytes}"
+            )
+
+    @property
+    def importers(self) -> List[int]:
+        return sorted({block.importer for block in self.blocks})
+
+    def bytes_to(self, importer: int) -> int:
+        return sum(block.size for block in self.blocks if block.importer == importer)
+
+    def one_way_time(self, topology: Topology) -> float:
+        """Completion time of one striped direction.
+
+        Blocks sharing a lane (switched topologies route several
+        importers' shares over the same egress lanes) serialize, so
+        the cost is the slowest *lane*, not the slowest block.
+        """
+        per_lane: Dict[ChannelKey, float] = {}
+        for block in self.blocks:
+            per_lane[block.lane] = per_lane.get(block.lane, 0.0) + transfer_time(
+                block.size, topology.nvlink, lanes=1
+            )
+        return max(per_lane.values())
+
+    def round_trip_time(self, topology: Topology) -> float:
+        """Swap-out plus swap-in cost (what the cost model charges)."""
+        return 2.0 * self.one_way_time(topology)
+
+
+def distribute_weighted(size: int, lane_counts: Dict[int, int]) -> Dict[int, int]:
+    """Split ``size`` bytes across importers proportionally to lanes.
+
+    Every importer with at least one lane receives a share
+    proportional to its lane count; rounding residue goes to the
+    best-connected importer so the total is exact.
+
+    >>> distribute_weighted(300, {1: 1, 3: 2})
+    {1: 100, 3: 200}
+    """
+    if size <= 0:
+        raise PlanError("cannot stripe a non-positive tensor")
+    eligible = {imp: lanes for imp, lanes in lane_counts.items() if lanes > 0}
+    if not eligible:
+        raise PlanError("no importer has NVLink lanes to the exporter")
+    total_lanes = sum(eligible.values())
+    shares = {
+        imp: (size * lanes) // total_lanes for imp, lanes in sorted(eligible.items())
+    }
+    residue = size - sum(shares.values())
+    best = max(sorted(eligible), key=lambda imp: eligible[imp])
+    shares[best] += residue
+    return {imp: share for imp, share in shares.items() if share > 0}
+
+
+def build_stripe_plan(
+    topology: Topology,
+    exporter: int,
+    importer_budgets: Dict[int, int],
+    tensor_bytes: int,
+    striping: bool = True,
+) -> StripePlan:
+    """Stripe ``tensor_bytes`` from ``exporter`` into peers' spare memory.
+
+    ``importer_budgets`` caps the bytes each peer may absorb (its
+    spare memory assigned by device mapping).  With ``striping``
+    disabled — the Figure 9 ablation baseline — the whole tensor goes
+    to the single importer with the most budget over one lane.
+    """
+    budgets = {
+        imp: budget
+        for imp, budget in importer_budgets.items()
+        if budget > 0 and topology.lanes(exporter, imp) > 0
+    }
+    if not budgets:
+        raise PlanError(f"exporter {exporter}: no NVLink-reachable importer budget")
+    if sum(budgets.values()) < tensor_bytes:
+        raise PlanError(
+            f"exporter {exporter}: importer budgets "
+            f"({sum(budgets.values())}) cannot hold {tensor_bytes} bytes"
+        )
+
+    if not striping:
+        importer = max(sorted(budgets), key=lambda imp: budgets[imp])
+        if budgets[importer] < tensor_bytes:
+            raise PlanError("without striping the tensor must fit one importer")
+        lane = topology.lane_channels(exporter, importer)[0]
+        back = topology.lane_channels(importer, exporter)[0]
+        block = StripeBlock(importer=importer, size=tensor_bytes, lane=lane, return_lane=back)
+        return StripePlan(exporter=exporter, tensor_bytes=tensor_bytes, blocks=(block,))
+
+    lane_counts = {imp: topology.lanes(exporter, imp) for imp in budgets}
+    shares = distribute_weighted(tensor_bytes, lane_counts)
+    shares = _respect_budgets(shares, budgets, tensor_bytes)
+
+    blocks: List[StripeBlock] = []
+    for importer, share in sorted(shares.items()):
+        out_lanes = topology.lane_channels(exporter, importer)
+        in_lanes = topology.lane_channels(importer, exporter)
+        lanes_used = min(topology.lanes(exporter, importer), len(out_lanes))
+        blocks.extend(
+            _lane_blocks(importer, share, out_lanes[:lanes_used], in_lanes[:lanes_used])
+        )
+    return StripePlan(exporter=exporter, tensor_bytes=tensor_bytes, blocks=tuple(blocks))
+
+
+def _respect_budgets(
+    shares: Dict[int, int], budgets: Dict[int, int], total: int
+) -> Dict[int, int]:
+    """Clamp proportional shares to budgets, spilling overflow to slack."""
+    clamped = {imp: min(share, budgets[imp]) for imp, share in shares.items()}
+    overflow = total - sum(clamped.values())
+    if overflow > 0:
+        for imp in sorted(budgets, key=lambda i: budgets[i] - clamped.get(i, 0), reverse=True):
+            slack = budgets[imp] - clamped.get(imp, 0)
+            if slack <= 0:
+                continue
+            used = min(slack, overflow)
+            clamped[imp] = clamped.get(imp, 0) + used
+            overflow -= used
+            if overflow == 0:
+                break
+    if overflow > 0:
+        raise PlanError("importer budgets cannot absorb the tensor")
+    return {imp: share for imp, share in clamped.items() if share > 0}
+
+
+def _lane_blocks(importer, share, out_lanes, in_lanes) -> List[StripeBlock]:
+    """Split one importer's share evenly over its lanes."""
+    n = len(out_lanes)
+    base = share // n
+    blocks = []
+    remaining = share
+    for k, (out_lane, in_lane) in enumerate(zip(out_lanes, in_lanes)):
+        size = base if k < n - 1 else remaining
+        remaining -= size
+        if size > 0:
+            blocks.append(
+                StripeBlock(importer=importer, size=size, lane=out_lane, return_lane=in_lane)
+            )
+    return blocks

@@ -1,0 +1,24 @@
+"""Data-flow graph view of a pipelined training job.
+
+Tensors are tracked at the granularity MPress plans over: one
+activation tensor per (stage, layer) class with one instance per
+in-flight microbatch, plus per-stage optimizer-state and stashed-
+parameter tensors.  Liveness analysis (Section III-D) computes the
+live intervals the cost model compares against swap costs.
+"""
+
+from repro.graph.tensor import TensorKind, TensorClass, TensorInstance, tensor_classes_for
+from repro.graph.dataflow import ComputeNode, Program, build_program
+from repro.graph.liveness import LiveInterval, live_intervals
+
+__all__ = [
+    "TensorKind",
+    "TensorClass",
+    "TensorInstance",
+    "tensor_classes_for",
+    "ComputeNode",
+    "Program",
+    "build_program",
+    "LiveInterval",
+    "live_intervals",
+]

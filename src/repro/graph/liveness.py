@@ -1,0 +1,108 @@
+"""Live-interval analysis over an execution trace.
+
+The live interval of a tensor is "the time duration between its
+generation and the subsequent usage" (paper, footnote 1).  For an
+activation tensor that is the gap between its layer's forward pass
+finishing and the same layer's backward pass starting; for optimizer
+state, the gap between consecutive optimizer steps; for stashed
+parameters, the end of a microbatch's forward to the start of its
+backward on that stage.
+
+The planner compares these intervals against swap costs: a swap whose
+out+in time fits inside the live interval is free (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graph.tensor import TensorClass, TensorKind
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """Aggregated liveness of one tensor class across microbatches."""
+
+    cls_key: tuple
+    mean: float
+    minimum: float
+    samples: int
+
+
+class _TraceIndex:
+    """Compute-event lookups keyed by (stage, layer, microbatch)."""
+
+    def __init__(self, trace: Trace, stage_of_device: Dict[int, int]):
+        self.fwd_end: Dict[Tuple[int, int, int], float] = {}
+        self.bwd_start: Dict[Tuple[int, int, int], float] = {}
+        self.stage_fwd_end: Dict[Tuple[int, int], float] = {}
+        self.stage_bwd_start: Dict[Tuple[int, int], float] = {}
+        self.opt_ends: Dict[int, List[float]] = {}
+        for event in trace.events:
+            stage = stage_of_device.get(event.device)
+            if stage is None:
+                continue
+            if event.kind == "fwd":
+                self.fwd_end[(stage, event.layer, event.microbatch)] = event.end
+                key = (stage, event.microbatch)
+                self.stage_fwd_end[key] = max(
+                    self.stage_fwd_end.get(key, 0.0), event.end
+                )
+            elif event.kind == "bwd":
+                self.bwd_start[(stage, event.layer, event.microbatch)] = event.start
+                key = (stage, event.microbatch)
+                current = self.stage_bwd_start.get(key)
+                if current is None or event.start < current:
+                    self.stage_bwd_start[key] = event.start
+            elif event.kind == "opt":
+                self.opt_ends.setdefault(stage, []).append(event.end)
+
+
+def live_intervals(
+    trace: Trace,
+    classes: List[TensorClass],
+    stage_of_device: Dict[int, int],
+) -> Dict[tuple, LiveInterval]:
+    """Per-class live intervals measured from a profiling trace.
+
+    ``trace`` events carry the *device* they ran on; ``stage_of_device``
+    maps device index back to the pipeline stage.
+    """
+    index = _TraceIndex(trace, stage_of_device)
+    results: Dict[tuple, LiveInterval] = {}
+    for cls in classes:
+        samples = _samples_for(cls, index)
+        if not samples:
+            continue
+        results[cls.key] = LiveInterval(
+            cls_key=cls.key,
+            mean=sum(samples) / len(samples),
+            minimum=min(samples),
+            samples=len(samples),
+        )
+    return results
+
+
+def _samples_for(cls: TensorClass, index: _TraceIndex) -> List[float]:
+    if cls.kind is TensorKind.ACTIVATION:
+        gaps = []
+        for (stage, layer, mb), start in index.bwd_start.items():
+            if stage == cls.stage and layer == cls.layer:
+                end = index.fwd_end.get((stage, layer, mb))
+                if end is not None:
+                    gaps.append(max(0.0, start - end))
+        return gaps
+    if cls.kind is TensorKind.STASHED_PARAMS:
+        gaps = []
+        for (stage, mb), start in index.stage_bwd_start.items():
+            if stage == cls.stage:
+                end = index.stage_fwd_end.get((stage, mb))
+                if end is not None:
+                    gaps.append(max(0.0, start - end))
+        return gaps
+    if cls.kind is TensorKind.OPTIMIZER_STATE:
+        steps = sorted(index.opt_ends.get(cls.stage, []))
+        return [later - earlier for earlier, later in zip(steps, steps[1:])]
+    return []  # working state is permanently live

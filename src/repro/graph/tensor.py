@@ -1,0 +1,130 @@
+"""Tensor classes: the units MPress assigns memory-saving actions to.
+
+A :class:`TensorClass` groups all microbatch instances of one logical
+tensor — e.g. "the saved activations of layer 17 on stage 2" — since
+the planner assigns one strategy per class (Table IV reports plans at
+stage granularity; we keep layer granularity and aggregate).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.models import costs
+from repro.pipeline.schedule import PipelineSchedule
+from repro.pipeline.stage import StagePlan
+
+
+class TensorKind(enum.Enum):
+    ACTIVATION = "activation"
+    OPTIMIZER_STATE = "optimizer"
+    STASHED_PARAMS = "stash"
+    WORKING_STATE = "working"  # live params + gradients; never reducible
+
+
+@dataclass(frozen=True)
+class TensorClass:
+    """One logical tensor the planner can act on."""
+
+    kind: TensorKind
+    stage: int
+    layer: int          # model-wide layer index; -1 for per-stage state
+    size: int           # bytes per instance
+    instances: int      # concurrent instances at peak (in-flight microbatches)
+    recomputable: bool  # only activations can be recomputed
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.instances < 0:
+            raise ConfigurationError("tensor class size/instances must be non-negative")
+
+    @property
+    def key(self) -> tuple:
+        return (self.kind.value, self.stage, self.layer)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak memory this class pins on its device."""
+        return self.size * self.instances
+
+
+@dataclass(frozen=True)
+class TensorInstance:
+    """One microbatch instance of a tensor class."""
+
+    cls: TensorClass
+    microbatch: int
+
+    @property
+    def name(self) -> str:
+        kind, stage, layer = self.cls.key
+        return f"{kind}.s{stage}.l{layer}.m{self.microbatch}"
+
+
+def tensor_classes_for(
+    stage_plan: StagePlan,
+    schedule: PipelineSchedule,
+    microbatch_size: int,
+    bytes_per_element: int = 2,
+) -> List[TensorClass]:
+    """Enumerate every reducible tensor class of a training job.
+
+    Working parameters and gradients are included (so memory accounting
+    is complete) but marked irreducible.
+    """
+    param_bytes, grad_bytes, optimizer_bytes = costs.state_bytes_per_param(
+        bytes_per_element
+    )
+    classes: List[TensorClass] = []
+    for stage in stage_plan.stages:
+        sid = stage.stage_id
+        in_flight = schedule.max_in_flight(sid)
+        versions = schedule.weight_versions(sid)
+        for layer in stage.layers:
+            classes.append(
+                TensorClass(
+                    kind=TensorKind.ACTIVATION,
+                    stage=sid,
+                    layer=layer.index,
+                    size=layer.activation_bytes(microbatch_size, bytes_per_element),
+                    instances=in_flight,
+                    recomputable=True,
+                )
+            )
+        classes.append(
+            TensorClass(
+                kind=TensorKind.OPTIMIZER_STATE,
+                stage=sid,
+                layer=-1,
+                size=stage.params * optimizer_bytes,
+                instances=1,
+                recomputable=False,
+            )
+        )
+        if versions > 1:
+            # One instance per stashed weight version beyond the
+            # working copy; stashed per in-flight minibatch
+            # (PipeDream's asynchronous scheduling, Section II-C).
+            classes.append(
+                TensorClass(
+                    kind=TensorKind.STASHED_PARAMS,
+                    stage=sid,
+                    layer=-1,
+                    size=stage.params * param_bytes,
+                    instances=versions - 1,
+                    recomputable=False,
+                )
+            )
+        classes.append(
+            TensorClass(
+                kind=TensorKind.WORKING_STATE,
+                stage=sid,
+                layer=-1,
+                size=stage.params * (param_bytes + grad_bytes),
+                instances=1,
+                recomputable=False,
+            )
+        )
+    return classes

@@ -1,0 +1,34 @@
+"""Simulated multi-GPU server hardware: devices, links, topologies.
+
+This subpackage is the substitute for the paper's physical DGX-1 /
+DGX-2 testbeds.  It models GPUs, NVLink/PCIe/NVMe interconnects with
+message-size-dependent effective bandwidth, and the asymmetric
+(hybrid cube-mesh) and symmetric (crossbar) topologies the paper
+evaluates on.
+"""
+
+from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec, A100, V100
+from repro.hardware.links import LinkType, LinkSpec, NVLINK2, PCIE3_X16
+from repro.hardware.bandwidth import effective_bandwidth, transfer_time
+from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
+from repro.hardware.server import Server, dgx1_server, dgx2_server
+
+__all__ = [
+    "GPUSpec",
+    "HostSpec",
+    "NVMeSpec",
+    "A100",
+    "V100",
+    "LinkType",
+    "LinkSpec",
+    "NVLINK2",
+    "PCIE3_X16",
+    "effective_bandwidth",
+    "transfer_time",
+    "Topology",
+    "dgx1_topology",
+    "dgx2_topology",
+    "Server",
+    "dgx1_server",
+    "dgx2_server",
+]

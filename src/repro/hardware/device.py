@@ -1,0 +1,103 @@
+"""Device specifications: GPUs, host CPU memory, NVMe storage.
+
+The numbers mirror the two servers in the paper's Section IV-A:
+
+* DGX-1-class: AWS EC2 p3dn.24xlarge — 8x V100 (32 GiB), 768 GiB host.
+* DGX-2-class: rented server — 8x A100 (40 GiB), 948 GiB host, 6 TB NVMe
+  whose I/O bandwidth the paper observed to be *lower* than the DGX-1
+  machine's (the cause of ZeRO-Infinity's slowdown in Figure 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GiB, TFLOP, GBps, TiB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU device.
+
+    ``peak_fp32`` / ``peak_fp16`` are peak throughputs in FLOP/s;
+    achieved throughput is derated by the model cost layer, not here.
+    """
+
+    name: str
+    memory_bytes: int
+    peak_fp32: float
+    peak_fp16: float
+    hbm_bandwidth: float = 900 * GBps
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError(f"GPU {self.name}: memory must be positive")
+        if self.peak_fp32 <= 0 or self.peak_fp16 <= 0:
+            raise ConfigurationError(f"GPU {self.name}: peak FLOPS must be positive")
+        if self.hbm_bandwidth <= 0:
+            raise ConfigurationError(f"GPU {self.name}: HBM bandwidth must be positive")
+
+    def peak_flops(self, precision: str) -> float:
+        """Peak FLOP/s for ``precision`` ('fp32' or 'fp16')."""
+        if precision == "fp32":
+            return self.peak_fp32
+        if precision == "fp16":
+            return self.peak_fp16
+        raise ConfigurationError(f"unknown precision {precision!r}")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Host (CPU) side of the server: memory capacity and core count."""
+
+    memory_bytes: int
+    vcpus: int = 96
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("host memory must be positive")
+
+
+@dataclass(frozen=True)
+class NVMeSpec:
+    """NVMe storage attached to the host (used by ZeRO-Infinity)."""
+
+    capacity_bytes: int
+    read_bandwidth: float
+    write_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if min(self.read_bandwidth, self.write_bandwidth) <= 0:
+            raise ConfigurationError("NVMe bandwidth must be positive")
+
+
+# Tesla V100-SXM2-32GB: 15.7 TFLOPS fp32, 125 TFLOPS fp16 tensor core.
+V100 = GPUSpec(
+    name="V100-SXM2-32GB",
+    memory_bytes=32 * GiB,
+    peak_fp32=15.7 * TFLOP,
+    peak_fp16=125.0 * TFLOP,
+    hbm_bandwidth=900 * GBps,
+)
+
+# A100-SXM4-40GB: 19.5 TFLOPS fp32, 312 TFLOPS fp16 tensor core.
+A100 = GPUSpec(
+    name="A100-SXM4-40GB",
+    memory_bytes=40 * GiB,
+    peak_fp32=19.5 * TFLOP,
+    peak_fp16=312.0 * TFLOP,
+    hbm_bandwidth=1555 * GBps,
+)
+
+# Host configurations from Section IV-A.
+P3DN_HOST = HostSpec(memory_bytes=768 * GiB, vcpus=96)
+DGX2_HOST = HostSpec(memory_bytes=948 * GiB, vcpus=164)
+
+# A healthy datacenter NVMe array (DGX-1-class machine).
+FAST_NVME = NVMeSpec(capacity_bytes=2 * TiB, read_bandwidth=8 * GBps, write_bandwidth=6 * GBps)
+
+# The rented DGX-2's SSDs were observed to be significantly slower
+# (paper, Section IV-C) — this is what makes ZeRO-Infinity lose to
+# ZeRO-Offload on the largest models in Figure 8b.
+SLOW_NVME = NVMeSpec(capacity_bytes=6 * TiB, read_bandwidth=2 * GBps, write_bandwidth=1.5 * GBps)

@@ -1,0 +1,90 @@
+"""Whole-server assembly: GPUs + topology + host + storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hardware.device import (
+    A100,
+    DGX2_HOST,
+    FAST_NVME,
+    GPUSpec,
+    HostSpec,
+    NVMeSpec,
+    P3DN_HOST,
+    SLOW_NVME,
+    V100,
+)
+from repro.hardware.links import LinkSpec, PCIE3_X16
+from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
+
+
+@dataclass(frozen=True)
+class Server:
+    """A single multi-GPU training server.
+
+    This is the object every simulation, planner, and baseline takes
+    as its hardware description.
+    """
+
+    name: str
+    gpus: List[GPUSpec]
+    topology: Topology
+    host: HostSpec
+    pcie: LinkSpec = PCIE3_X16
+    nvme: NVMeSpec = field(default=FAST_NVME)
+
+    def __post_init__(self) -> None:
+        if len(self.gpus) != self.topology.n_gpus:
+            raise ConfigurationError(
+                f"server {self.name}: {len(self.gpus)} GPUs but topology "
+                f"describes {self.topology.n_gpus}"
+            )
+        if not self.gpus:
+            raise ConfigurationError("a server needs at least one GPU")
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def gpu_memory(self) -> int:
+        """Per-GPU memory capacity in bytes (homogeneous servers)."""
+        return self.gpus[0].memory_bytes
+
+    @property
+    def total_gpu_memory(self) -> int:
+        return sum(gpu.memory_bytes for gpu in self.gpus)
+
+    def gpu(self, index: int) -> GPUSpec:
+        if not 0 <= index < self.n_gpus:
+            raise ConfigurationError(f"GPU index {index} out of range")
+        return self.gpus[index]
+
+
+def dgx1_server() -> Server:
+    """The DGX-1-class machine: 8x V100-32GB, hybrid cube-mesh, 768 GiB host."""
+    return Server(
+        name="DGX-1-V100",
+        gpus=[V100] * 8,
+        topology=dgx1_topology(),
+        host=P3DN_HOST,
+        nvme=FAST_NVME,
+    )
+
+
+def dgx2_server() -> Server:
+    """The DGX-2-class machine: 8x A100-40GB, symmetric NVSwitch, slow NVMe.
+
+    The slow NVMe mirrors the rented server in Section IV-C whose SSD
+    bandwidth bottlenecked ZeRO-Infinity (Figure 8b).
+    """
+    return Server(
+        name="DGX-2-A100",
+        gpus=[A100] * 8,
+        topology=dgx2_topology(),
+        host=DGX2_HOST,
+        nvme=SLOW_NVME,
+    )

@@ -1,0 +1,160 @@
+"""GPU interconnect topologies.
+
+Two topology kinds cover the paper's servers:
+
+* ``direct`` — point-to-point NVLink bricks between specific GPU
+  pairs.  The DGX-1V hybrid cube-mesh is the canonical instance: each
+  V100 exposes 6 bricks, and pairs are connected by 1 or 2 bricks
+  (the asymmetry the paper's device-mapping search exploits —
+  e.g. GPU0-GPU3 has two bricks / 50 GB/s while GPU0-GPU1 has one).
+
+* ``switched`` — every GPU connects all of its bricks to a
+  non-blocking switch (NVSwitch), so any pair can communicate and a
+  GPU's 6 bricks are a shared egress budget.  This is the DGX-2-class
+  symmetric topology.
+
+A *lane* is one brick in one direction.  Transfers in the simulator
+occupy individual lane channels; striping (Section III-C) is what
+lets one logical tensor move over several lanes concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import TopologyError
+from repro.hardware.links import LinkSpec, NVLINK2, NVLINK3
+
+# Channel keys are opaque hashable tuples; the simulator maps each to
+# one in-order lane resource.
+ChannelKey = Tuple
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An interconnect topology over ``n_gpus`` devices.
+
+    ``adjacency`` maps unordered GPU pairs (as frozensets) to brick
+    counts; it is only populated for ``kind == "direct"``.
+    """
+
+    n_gpus: int
+    kind: str
+    nvlink: LinkSpec
+    lane_budget: int = 6
+    adjacency: Dict[FrozenSet[int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 2:
+            raise TopologyError("a topology needs at least two GPUs")
+        if self.kind not in ("direct", "switched"):
+            raise TopologyError(f"unknown topology kind {self.kind!r}")
+        if self.kind == "direct":
+            self._validate_direct()
+
+    def _validate_direct(self) -> None:
+        for pair, count in self.adjacency.items():
+            if len(pair) != 2:
+                raise TopologyError(f"adjacency key {pair} is not a pair")
+            if any(g < 0 or g >= self.n_gpus for g in pair):
+                raise TopologyError(f"adjacency pair {pair} out of range")
+            if count < 1:
+                raise TopologyError(f"pair {pair} has non-positive brick count")
+        for gpu in range(self.n_gpus):
+            if self.bricks_at(gpu) > self.lane_budget:
+                raise TopologyError(
+                    f"GPU {gpu} uses {self.bricks_at(gpu)} bricks, "
+                    f"budget is {self.lane_budget}"
+                )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when every pair sees the same connectivity (DGX-2)."""
+        return self.kind == "switched"
+
+    def lanes(self, src: int, dst: int) -> int:
+        """Number of lanes usable for a src->dst transfer.
+
+        For a switched topology this is the full egress budget (the
+        switch is non-blocking); contention with transfers to other
+        destinations is resolved by the simulator's lane channels.
+        """
+        self._check_gpu(src)
+        self._check_gpu(dst)
+        if src == dst:
+            return 0
+        if self.kind == "switched":
+            return self.lane_budget
+        return self.adjacency.get(frozenset((src, dst)), 0)
+
+    def neighbors(self, gpu: int) -> List[int]:
+        """GPUs directly reachable from ``gpu`` over NVLink."""
+        self._check_gpu(gpu)
+        return [peer for peer in range(self.n_gpus) if peer != gpu and self.lanes(gpu, peer) > 0]
+
+    def bricks_at(self, gpu: int) -> int:
+        """Total NVLink bricks wired to ``gpu``."""
+        self._check_gpu(gpu)
+        if self.kind == "switched":
+            return self.lane_budget
+        return sum(count for pair, count in self.adjacency.items() if gpu in pair)
+
+    def lane_channels(self, src: int, dst: int) -> List[ChannelKey]:
+        """Lane channel keys a src->dst transfer may occupy.
+
+        Direct topologies expose one channel per brick per direction
+        of each connected pair.  Switched topologies expose the
+        source's egress lanes, shared across all destinations.
+        """
+        n = self.lanes(src, dst)
+        if n == 0:
+            raise TopologyError(f"no NVLink route from GPU {src} to GPU {dst}")
+        if self.kind == "switched":
+            return [("egress", src, k) for k in range(self.lane_budget)]
+        return [("lane", src, dst, k) for k in range(n)]
+
+    def all_lane_channels(self) -> List[ChannelKey]:
+        """Every lane channel key the simulator must instantiate."""
+        keys: List[ChannelKey] = []
+        if self.kind == "switched":
+            for gpu in range(self.n_gpus):
+                keys.extend(("egress", gpu, k) for k in range(self.lane_budget))
+            return keys
+        for pair, count in sorted(self.adjacency.items(), key=lambda kv: sorted(kv[0])):
+            a, b = sorted(pair)
+            for k in range(count):
+                keys.append(("lane", a, b, k))
+                keys.append(("lane", b, a, k))
+        return keys
+
+    def _check_gpu(self, gpu: int) -> None:
+        if not 0 <= gpu < self.n_gpus:
+            raise TopologyError(f"GPU index {gpu} out of range [0, {self.n_gpus})")
+
+
+# DGX-1V hybrid cube-mesh: two quads {0..3} and {4..7}; within a quad
+# each GPU pairs with its three neighbours using 1/1/2 bricks, and each
+# GPU has a 2-brick cross-quad partner.  Every GPU uses exactly 6.
+_DGX1_EDGES: Dict[Tuple[int, int], int] = {
+    (0, 1): 1, (0, 2): 1, (0, 3): 2,
+    (1, 2): 2, (1, 3): 1,
+    (2, 3): 1,
+    (4, 5): 1, (4, 6): 1, (4, 7): 2,
+    (5, 6): 2, (5, 7): 1,
+    (6, 7): 1,
+    (0, 4): 2, (1, 5): 2, (2, 6): 2, (3, 7): 2,
+}
+
+
+def dgx1_topology() -> Topology:
+    """The asymmetric DGX-1V hybrid cube-mesh (Figure 3 of the paper)."""
+    adjacency = {frozenset(pair): count for pair, count in _DGX1_EDGES.items()}
+    return Topology(n_gpus=8, kind="direct", nvlink=NVLINK2, adjacency=adjacency)
+
+
+def dgx2_topology(n_gpus: int = 8) -> Topology:
+    """The symmetric switched topology of the DGX-2-class server."""
+    return Topology(n_gpus=n_gpus, kind="switched", nvlink=NVLINK3)

@@ -1,0 +1,209 @@
+"""Training job description: model + server + pipeline configuration.
+
+A :class:`TrainingJob` bundles everything needed to simulate one
+training run: the model variant, the server, the inter-operator
+training system (PipeDream, DAPPLE, or GPipe), batch geometry, numeric
+precision, and the partition strategy.  It derives the stage plan,
+schedule, and per-stage compute times used everywhere downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import Server
+from repro.models import costs
+from repro.models.layers import LayerSpec, ModelSpec
+from repro.pipeline.dapple import dapple_schedule
+from repro.pipeline.gpipe import gpipe_schedule
+from repro.pipeline.partition import partition_model
+from repro.pipeline.pipedream import pipedream_schedule
+from repro.pipeline.schedule import PipelineSchedule
+from repro.pipeline.stage import StagePlan
+
+# Model FLOPs utilization actually achieved by the two systems'
+# kernels.  DAPPLE runs fp16 tensor-core kernels at lower relative
+# utilization; PipeDream runs fp32 at higher relative utilization —
+# the absolute fp16 throughput is still far higher (the paper's
+# "result gap between PipeDream and DAPPLE", Section IV-C).
+DEFAULT_MFU = {"fp32": 0.60, "fp16": 0.45}
+
+# Bytes the optimizer touches per parameter during one Adam step:
+# read fp16 grad + fp32 master/m/v, write fp32 master/m/v + fp16 param.
+_OPTIMIZER_TRAFFIC_PER_PARAM = 30
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One pipelined training run on one server."""
+
+    model: ModelSpec
+    server: Server
+    system: str                       # "pipedream" | "dapple" | "gpipe"
+    microbatch_size: int
+    microbatches_per_minibatch: int
+    n_minibatches: int
+    precision: str                    # "fp32" | "fp16"
+    mfu: float
+    partition_strategy: str = "computation"
+
+    def __post_init__(self) -> None:
+        if self.system not in ("pipedream", "dapple", "gpipe"):
+            raise ConfigurationError(f"unknown training system {self.system!r}")
+        if self.precision not in ("fp32", "fp16"):
+            raise ConfigurationError(f"unknown precision {self.precision!r}")
+        if min(self.microbatch_size, self.microbatches_per_minibatch, self.n_minibatches) < 1:
+            raise ConfigurationError("batch geometry values must be positive")
+        if not 0 < self.mfu <= 1:
+            raise ConfigurationError("mfu must be in (0, 1]")
+
+    # -- derived structure -------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return self.server.n_gpus
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Activation element width: fp32 doubles activation memory."""
+        return 4 if self.precision == "fp32" else 2
+
+    @cached_property
+    def stage_plan(self) -> StagePlan:
+        return partition_model(
+            self.model,
+            self.n_stages,
+            strategy=self.partition_strategy,
+            microbatch=self.microbatch_size,
+        )
+
+    @cached_property
+    def schedule(self) -> PipelineSchedule:
+        if self.system == "pipedream":
+            return pipedream_schedule(
+                self.n_stages, self.n_minibatches, self.microbatches_per_minibatch
+            )
+        if self.system == "gpipe":
+            return gpipe_schedule(
+                self.n_stages, self.n_minibatches, self.microbatches_per_minibatch
+            )
+        return dapple_schedule(
+            self.n_stages, self.n_minibatches, self.microbatches_per_minibatch
+        )
+
+    # -- timing ------------------------------------------------------------
+
+    def _throughput(self, device: int) -> float:
+        gpu = self.server.gpu(device)
+        return gpu.peak_flops(self.precision) * self.mfu
+
+    def forward_time(self, stage: int, device: int) -> float:
+        flops = self.stage_plan.stage(stage).forward_flops(self.microbatch_size)
+        return flops / self._throughput(device)
+
+    def backward_time(self, stage: int, device: int) -> float:
+        flops = self.stage_plan.stage(stage).backward_flops(self.microbatch_size)
+        return flops / self._throughput(device)
+
+    def layer_forward_time(self, layer: LayerSpec, device: int) -> float:
+        """Recomputation cost of one layer (an extra forward pass)."""
+        return layer.forward_flops(self.microbatch_size) / self._throughput(device)
+
+    def optimizer_time(self, stage: int, device: int) -> float:
+        """Adam step duration: HBM-bandwidth-bound elementwise update."""
+        params = self.stage_plan.stage(stage).params
+        gpu = self.server.gpu(device)
+        return params * _OPTIMIZER_TRAFFIC_PER_PARAM / gpu.hbm_bandwidth
+
+    # -- workload metrics ----------------------------------------------------
+
+    @property
+    def samples_per_minibatch(self) -> int:
+        return self.microbatch_size * self.microbatches_per_minibatch
+
+    def minibatch_flops(self) -> float:
+        """Model FLOPs of one minibatch (fwd + bwd), for TFLOPS reporting."""
+        return self.model.iteration_flops(self.samples_per_minibatch)
+
+    def with_minibatches(self, n: int) -> "TrainingJob":
+        return replace(self, n_minibatches=n)
+
+
+def pipedream_job(
+    model: ModelSpec,
+    server: Server,
+    microbatch_size: int = 12,
+    microbatches_per_minibatch: int = 1,
+    n_minibatches: int = None,
+    mfu: float = None,
+) -> TrainingJob:
+    """PipeDream-style job: asynchronous scheduling, fp32 kernels.
+
+    Original PipeDream pipelines *minibatches* — every microbatch is
+    a minibatch with its own weight update — which is exactly what
+    makes weight stashing grow with pipeline depth (Section II-C).
+    ``n_minibatches`` defaults to enough updates for the pipeline to
+    reach steady state.
+    """
+    if n_minibatches is None:
+        n_minibatches = 3 * server.n_gpus
+    return TrainingJob(
+        model=model,
+        server=server,
+        system="pipedream",
+        microbatch_size=microbatch_size,
+        microbatches_per_minibatch=microbatches_per_minibatch,
+        n_minibatches=n_minibatches,
+        precision="fp32",
+        mfu=mfu if mfu is not None else DEFAULT_MFU["fp32"],
+    )
+
+
+def dapple_job(
+    model: ModelSpec,
+    server: Server,
+    microbatch_size: int = 2,
+    microbatches_per_minibatch: int = None,
+    n_minibatches: int = 2,
+    mfu: float = None,
+) -> TrainingJob:
+    """DAPPLE-style job: synchronous scheduling, fp16 kernels."""
+    return TrainingJob(
+        model=model,
+        server=server,
+        system="dapple",
+        microbatch_size=microbatch_size,
+        microbatches_per_minibatch=microbatches_per_minibatch or 2 * server.n_gpus,
+        n_minibatches=n_minibatches,
+        precision="fp16",
+        mfu=mfu if mfu is not None else DEFAULT_MFU["fp16"],
+    )
+
+
+def gpipe_job(
+    model: ModelSpec,
+    server: Server,
+    microbatch_size: int = 2,
+    microbatches_per_minibatch: int = None,
+    n_minibatches: int = 2,
+    mfu: float = None,
+) -> TrainingJob:
+    """GPipe-style job: synchronous all-forward-then-all-backward.
+
+    GPipe holds every in-flight microbatch's activations at the
+    forward/backward boundary, so its memory high-water mark exceeds
+    DAPPLE's at equal geometry — more room for MPress to reclaim.
+    """
+    return TrainingJob(
+        model=model,
+        server=server,
+        system="gpipe",
+        microbatch_size=microbatch_size,
+        microbatches_per_minibatch=microbatches_per_minibatch or 2 * server.n_gpus,
+        n_minibatches=n_minibatches,
+        precision="fp16",
+        mfu=mfu if mfu is not None else DEFAULT_MFU["fp16"],
+    )

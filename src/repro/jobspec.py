@@ -1,0 +1,84 @@
+"""JSON job specifications for the CLI and scripting.
+
+A job spec is a small JSON document describing one training job —
+model, server, pipeline system, batch geometry — so experiments are
+reproducible from checked-in files instead of command lines::
+
+    {
+      "model": "gpt-10.3",
+      "server": "dgx1",
+      "pipeline": "dapple",
+      "microbatch_size": 2,
+      "microbatches_per_minibatch": 16,
+      "n_minibatches": 2
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.job import TrainingJob, dapple_job, gpipe_job, pipedream_job
+
+_REQUIRED = ("model", "server")
+_OPTIONAL = {
+    "pipeline": None,
+    "microbatch_size": None,
+    "microbatches_per_minibatch": None,
+    "n_minibatches": None,
+    "mfu": None,
+}
+_BUILDERS = {"pipedream": pipedream_job, "dapple": dapple_job, "gpipe": gpipe_job}
+
+
+def job_from_spec(spec: Dict) -> TrainingJob:
+    """Build a :class:`TrainingJob` from a parsed spec dict."""
+    unknown = set(spec) - set(_REQUIRED) - set(_OPTIONAL)
+    if unknown:
+        raise ConfigurationError(f"unknown job spec keys: {sorted(unknown)}")
+    for key in _REQUIRED:
+        if key not in spec:
+            raise ConfigurationError(f"job spec missing required key {key!r}")
+
+    from repro.cli import _build_server, _default_pipeline, _parse_model
+
+    model = _parse_model(spec["model"])
+    server = _build_server(spec["server"])
+    pipeline = spec.get("pipeline") or _default_pipeline(spec["model"])
+    builder = _BUILDERS.get(pipeline)
+    if builder is None:
+        raise ConfigurationError(f"unknown pipeline {pipeline!r}")
+
+    kwargs = {}
+    for key in ("microbatch_size", "microbatches_per_minibatch",
+                "n_minibatches", "mfu"):
+        if spec.get(key) is not None:
+            kwargs[key] = spec[key]
+    return builder(model, server, **kwargs)
+
+
+def load_job(path: str) -> TrainingJob:
+    """Read a job spec file and build the job."""
+    with open(path) as handle:
+        try:
+            spec = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"{path}: invalid JSON ({error})")
+    if not isinstance(spec, dict):
+        raise ConfigurationError(f"{path}: job spec must be a JSON object")
+    return job_from_spec(spec)
+
+
+def job_to_spec(job: TrainingJob, model_spec: str, server_name: str) -> Dict:
+    """Render a job back into a spec dict (for saving experiments)."""
+    return {
+        "model": model_spec,
+        "server": server_name,
+        "pipeline": job.system,
+        "microbatch_size": job.microbatch_size,
+        "microbatches_per_minibatch": job.microbatches_per_minibatch,
+        "n_minibatches": job.n_minibatches,
+        "mfu": job.mfu,
+    }

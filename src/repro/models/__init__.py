@@ -1,0 +1,26 @@
+"""DNN model descriptions: Bert and GPT variants.
+
+Models are described analytically — per-layer parameter counts,
+activation footprints, and FLOPs — because the simulator only needs
+the quantities the paper's profiler collects (tensor sizes and
+compute latencies, Table III), not real weights.
+"""
+
+from repro.models.config import TransformerConfig, solve_hidden
+from repro.models.layers import LayerKind, LayerSpec, ModelSpec
+from repro.models.bert import bert_variant, BERT_VARIANTS
+from repro.models.gpt import gpt_variant, GPT_VARIANTS
+from repro.models import costs
+
+__all__ = [
+    "TransformerConfig",
+    "solve_hidden",
+    "LayerKind",
+    "LayerSpec",
+    "ModelSpec",
+    "bert_variant",
+    "BERT_VARIANTS",
+    "gpt_variant",
+    "GPT_VARIANTS",
+    "costs",
+]

@@ -1,0 +1,56 @@
+"""Bert variants matching the paper's Table II parameter scales.
+
+The paper trains Bert on SQuAD v1.1 (sequence length 384) through
+PipeDream, growing variants from 0.35B to 6.2B parameters by
+adjusting depth and hidden size (Section IV-A, following the
+google-research/bert scaling recipe).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.models.config import HEAD_DIM, TransformerConfig, solve_hidden
+from repro.models.layers import ModelSpec, build_model
+
+BERT_VOCAB = 30_522
+BERT_SEQ_LEN = 384
+BERT_MAX_POSITIONS = 512
+
+# target billions of parameters -> depth used to reach it.
+BERT_VARIANTS: Dict[float, int] = {
+    0.35: 24,   # BERT-Large depth
+    0.64: 40,
+    1.67: 48,
+    4.0: 64,
+    6.2: 72,
+}
+
+
+def bert_variant(billions: float) -> ModelSpec:
+    """Build the Bert variant with roughly ``billions`` parameters.
+
+    >>> bert_variant(0.35).config.n_layers
+    24
+    """
+    if billions not in BERT_VARIANTS:
+        known = ", ".join(str(b) for b in sorted(BERT_VARIANTS))
+        raise ConfigurationError(f"unknown Bert variant {billions}B; known: {known}")
+    n_layers = BERT_VARIANTS[billions]
+    hidden = solve_hidden(
+        target_params=billions * 1e9,
+        n_layers=n_layers,
+        vocab=BERT_VOCAB,
+        max_positions=BERT_MAX_POSITIONS,
+    )
+    config = TransformerConfig(
+        name=f"Bert-{billions}B",
+        n_layers=n_layers,
+        hidden=hidden,
+        heads=hidden // HEAD_DIM,
+        vocab=BERT_VOCAB,
+        seq_len=BERT_SEQ_LEN,
+        max_positions=BERT_MAX_POSITIONS,
+    )
+    return build_model(config)

@@ -1,0 +1,90 @@
+"""Transformer model configuration and variant solving.
+
+The paper scales Bert and GPT "deeper and wider by adjusting the
+number of encoder layers and the value of hidden sizes" to reach the
+parameter counts in Table II.  :func:`solve_hidden` performs the
+width adjustment: given a depth and a parameter target, it finds the
+hidden size (rounded to a multiple of the head size) whose total
+parameter count lands closest to the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models import costs
+
+HEAD_DIM = 64
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of a Bert- or GPT-style transformer."""
+
+    name: str
+    n_layers: int
+    hidden: int
+    heads: int
+    vocab: int
+    seq_len: int
+    max_positions: int
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ConfigurationError("model needs at least one layer")
+        if self.hidden < self.heads or self.hidden % self.heads != 0:
+            raise ConfigurationError(
+                f"hidden ({self.hidden}) must be a positive multiple of heads ({self.heads})"
+            )
+        if self.seq_len > self.max_positions:
+            raise ConfigurationError("seq_len exceeds max_positions")
+
+    @property
+    def total_params(self) -> int:
+        """All trainable parameters (embeddings + transformer layers)."""
+        return (
+            costs.embedding_params(self.vocab, self.max_positions, self.hidden)
+            + self.n_layers * costs.layer_params(self.hidden)
+        )
+
+    @property
+    def billions(self) -> float:
+        return self.total_params / 1e9
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.n_layers} layers x hidden {self.hidden} "
+            f"({self.heads} heads), {self.billions:.2f}B params"
+        )
+
+
+def solve_hidden(
+    target_params: float,
+    n_layers: int,
+    vocab: int,
+    max_positions: int,
+    head_dim: int = HEAD_DIM,
+) -> int:
+    """Hidden size whose model lands closest to ``target_params``.
+
+    Scans hidden sizes in steps of ``head_dim`` (so head count stays
+    integral) around the analytic estimate and returns the best fit.
+    """
+    if target_params <= 0:
+        raise ConfigurationError("target parameter count must be positive")
+    if n_layers < 1:
+        raise ConfigurationError("layer count must be positive")
+
+    # Analytic seed: target ~= n_layers * 12 h^2  =>  h ~ sqrt(target / 12L).
+    seed = int((target_params / (12.0 * n_layers)) ** 0.5)
+    seed = max(head_dim, (seed // head_dim) * head_dim)
+
+    def total(hidden: int) -> int:
+        return (
+            costs.embedding_params(vocab, max_positions, hidden)
+            + n_layers * costs.layer_params(hidden)
+        )
+
+    candidates = [seed + k * head_dim for k in range(-4, 5) if seed + k * head_dim >= head_dim]
+    return min(candidates, key=lambda hidden: abs(total(hidden) - target_params))

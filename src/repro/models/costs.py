@@ -1,0 +1,141 @@
+"""Analytic cost formulas for transformer layers.
+
+Parameter counts follow the standard accounting (attention QKV/out
+projections + 4h MLP + layernorms + biases = ``12 h^2 + 13 h`` per
+layer).  Activation footprints follow Korthikanti et al., "Reducing
+Activation Recomputation in Large Transformer Models": a layer with
+sequence length ``s``, microbatch ``b``, hidden ``h`` and ``a`` heads
+stores ``s b h (34 + 5 a s / h)`` bytes at 2 bytes/element.
+
+Memory per parameter uses mixed-precision training state accounting
+(the regime both PipeDream-style and DAPPLE-style jobs in the paper
+report in Table I): fp16 parameters (2 B) + fp16 gradients (2 B) +
+fp32 master copy, momentum and variance (12 B) — so optimizer state
+is 3x the size of parameters-plus-gradients, matching the paper's
+46% vs 15% split.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+# Mixed-precision training state, bytes per parameter (the fp16
+# regime: fp16 param + fp16 grad + fp32 master/momentum/variance).
+PARAM_BYTES = 2
+GRAD_BYTES = 2
+OPTIMIZER_BYTES = 12  # fp32 master + Adam momentum + Adam variance
+
+
+def state_bytes_per_param(bytes_per_element: int):
+    """(param, grad, optimizer) bytes per parameter for a precision.
+
+    fp32 training (PipeDream-era): fp32 params/grads, Adam m+v.
+    fp16 mixed precision (DAPPLE-era): fp16 params/grads, fp32
+    master + m + v.  Both total 16 bytes/param, but the split
+    determines what weight stashing multiplies.
+    """
+    if bytes_per_element == 4:
+        return 4, 4, 8
+    if bytes_per_element == 2:
+        return PARAM_BYTES, GRAD_BYTES, OPTIMIZER_BYTES
+    raise ConfigurationError("bytes_per_element must be 2 (fp16) or 4 (fp32)")
+
+# Elements stored per (token x hidden) position in one transformer
+# layer's saved activations, and per (token x token x head) position
+# in the attention matrices.  Two profiles, keyed by element width:
+#
+# * fp16 (2 B) — an optimized mixed-precision stack (DAPPLE-era):
+#   the Korthikanti accounting's 17 linear elements, with fused
+#   attention kernels keeping roughly one a*s^2 matrix.
+# * fp32 (4 B) — an eager PyTorch-1.2-era stack (PipeDream): every
+#   intermediate survives (pre/post softmax, dropout masks, GeLU
+#   inputs, ...), roughly 29 linear and 4.7 attention elements.
+#
+# The coefficients are calibrated against the paper's Table II
+# per-stage memory demands (Bert-0.64B stage 0 ~51 GB at microbatch
+# 12; GPT-5.3B max stage ~28.5 GB at microbatch 2) and reproduce the
+# paper's trainability boundaries in Figures 7/8.
+_ACTIVATION_PROFILE = {
+    2: (17.0, 1.0),
+    4: (29.0, 4.7),
+}
+
+
+def layer_params(hidden: int) -> int:
+    """Parameters in one transformer layer (attention + MLP + norms)."""
+    _check_positive(hidden=hidden)
+    return 12 * hidden * hidden + 13 * hidden
+
+
+def embedding_params(vocab: int, max_positions: int, hidden: int) -> int:
+    """Parameters in the embedding block (token + position tables)."""
+    _check_positive(vocab=vocab, max_positions=max_positions, hidden=hidden)
+    return (vocab + max_positions) * hidden
+
+
+def layer_forward_flops(hidden: int, seq: int, microbatch: int) -> float:
+    """FLOPs for one layer's forward pass over one microbatch.
+
+    Matmul-dominated: ``24 s h^2`` for the projections/MLP plus
+    ``4 s^2 h`` for attention score and context matmuls, per sample.
+    """
+    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch)
+    per_sample = 24.0 * seq * hidden * hidden + 4.0 * seq * seq * hidden
+    return microbatch * per_sample
+
+
+def layer_backward_flops(hidden: int, seq: int, microbatch: int) -> float:
+    """Backward FLOPs, estimated as 2x forward (the paper, Sec. IV-A)."""
+    return 2.0 * layer_forward_flops(hidden, seq, microbatch)
+
+
+def layer_activation_bytes(
+    hidden: int,
+    seq: int,
+    microbatch: int,
+    heads: int,
+    bytes_per_element: int = 2,
+) -> int:
+    """Saved-for-backward activation bytes of one layer, one microbatch."""
+    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch, heads=heads)
+    if bytes_per_element not in _ACTIVATION_PROFILE:
+        raise ConfigurationError("bytes_per_element must be 2 (fp16) or 4 (fp32)")
+    linear_elems, attention_elems = _ACTIVATION_PROFILE[bytes_per_element]
+    linear = linear_elems * seq * microbatch * hidden
+    attention = attention_elems * heads * seq * seq * microbatch
+    return int((linear + attention) * bytes_per_element)
+
+
+def layer_boundary_bytes(hidden: int, seq: int, microbatch: int, bytes_per_element: int = 2) -> int:
+    """Bytes of the activation tensor crossing a layer boundary.
+
+    This is the tensor shipped between pipeline stages — small
+    relative to the saved activations, which is why inter-operator
+    parallelism has the lightest communication (Section II-A).
+    """
+    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch)
+    return seq * microbatch * hidden * bytes_per_element
+
+
+def embedding_forward_flops(hidden: int, seq: int, microbatch: int) -> float:
+    """Embedding lookup cost: one read+add per position, negligible matmul."""
+    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch)
+    return 2.0 * seq * microbatch * hidden
+
+
+def head_forward_flops(hidden: int, vocab: int, seq: int, microbatch: int) -> float:
+    """Output head (logits) matmul cost."""
+    _check_positive(hidden=hidden, vocab=vocab, seq=seq, microbatch=microbatch)
+    return 2.0 * seq * microbatch * hidden * vocab
+
+
+def model_state_bytes(params: int) -> int:
+    """Total training-state bytes for ``params`` parameters."""
+    _check_positive(params=params)
+    return params * (PARAM_BYTES + GRAD_BYTES + OPTIMIZER_BYTES)
+
+
+def _check_positive(**named_values: float) -> None:
+    for name, value in named_values.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")

@@ -1,0 +1,54 @@
+"""GPT variants matching the paper's Table II parameter scales.
+
+The paper trains GPT on Wikipedia (sequence length 1024) through
+DAPPLE, with variants from 5.3B to 25.5B parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.models.config import HEAD_DIM, TransformerConfig, solve_hidden
+from repro.models.layers import ModelSpec, build_model
+
+GPT_VOCAB = 50_257
+GPT_SEQ_LEN = 1024
+GPT_MAX_POSITIONS = 1024
+
+# target billions of parameters -> depth used to reach it.
+GPT_VARIANTS: Dict[float, int] = {
+    5.3: 40,
+    10.3: 52,
+    15.4: 60,
+    20.4: 66,
+    25.5: 72,
+}
+
+
+def gpt_variant(billions: float) -> ModelSpec:
+    """Build the GPT variant with roughly ``billions`` parameters.
+
+    >>> round(gpt_variant(5.3).config.billions, 1)
+    5.3
+    """
+    if billions not in GPT_VARIANTS:
+        known = ", ".join(str(b) for b in sorted(GPT_VARIANTS))
+        raise ConfigurationError(f"unknown GPT variant {billions}B; known: {known}")
+    n_layers = GPT_VARIANTS[billions]
+    hidden = solve_hidden(
+        target_params=billions * 1e9,
+        n_layers=n_layers,
+        vocab=GPT_VOCAB,
+        max_positions=GPT_MAX_POSITIONS,
+    )
+    config = TransformerConfig(
+        name=f"GPT-{billions}B",
+        n_layers=n_layers,
+        hidden=hidden,
+        heads=hidden // HEAD_DIM,
+        vocab=GPT_VOCAB,
+        seq_len=GPT_SEQ_LEN,
+        max_positions=GPT_MAX_POSITIONS,
+    )
+    return build_model(config)

@@ -1,0 +1,121 @@
+"""Per-layer model description used by partitioning and simulation.
+
+A :class:`ModelSpec` is a flat list of :class:`LayerSpec` — embedding,
+N transformer layers, and an output head — each knowing its parameter
+count and how to compute its FLOPs / activation bytes for a given
+microbatch size.  Pipeline partitioning (Section II-B) slices this
+list into contiguous stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.models import costs
+from repro.models.config import TransformerConfig
+
+
+class LayerKind(enum.Enum):
+    EMBEDDING = "embedding"
+    TRANSFORMER = "transformer"
+    HEAD = "head"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of the model: static sizes plus per-microbatch costs."""
+
+    index: int
+    kind: LayerKind
+    config: TransformerConfig
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind.value}{self.index}"
+
+    @property
+    def params(self) -> int:
+        if self.kind is LayerKind.EMBEDDING:
+            return costs.embedding_params(
+                self.config.vocab, self.config.max_positions, self.config.hidden
+            )
+        if self.kind is LayerKind.TRANSFORMER:
+            return costs.layer_params(self.config.hidden)
+        # The output head ties weights with the token embedding, the
+        # convention of both Bert and GPT; it owns no extra parameters.
+        return 0
+
+    def forward_flops(self, microbatch: int) -> float:
+        cfg = self.config
+        if self.kind is LayerKind.EMBEDDING:
+            return costs.embedding_forward_flops(cfg.hidden, cfg.seq_len, microbatch)
+        if self.kind is LayerKind.TRANSFORMER:
+            return costs.layer_forward_flops(cfg.hidden, cfg.seq_len, microbatch)
+        return costs.head_forward_flops(cfg.hidden, cfg.vocab, cfg.seq_len, microbatch)
+
+    def backward_flops(self, microbatch: int) -> float:
+        return 2.0 * self.forward_flops(microbatch)
+
+    def activation_bytes(self, microbatch: int, bytes_per_element: int = 2) -> int:
+        """Activations this layer must keep alive until its backward pass."""
+        cfg = self.config
+        if self.kind is LayerKind.TRANSFORMER:
+            return costs.layer_activation_bytes(
+                cfg.hidden, cfg.seq_len, microbatch, cfg.heads, bytes_per_element
+            )
+        # Embedding and head keep roughly one boundary-sized tensor.
+        return costs.layer_boundary_bytes(cfg.hidden, cfg.seq_len, microbatch, bytes_per_element)
+
+    def boundary_bytes(self, microbatch: int, bytes_per_element: int = 2) -> int:
+        """Size of this layer's output tensor (what crosses stages)."""
+        cfg = self.config
+        return costs.layer_boundary_bytes(cfg.hidden, cfg.seq_len, microbatch, bytes_per_element)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A whole model as an ordered layer list."""
+
+    config: TransformerConfig
+    layers: List[LayerSpec]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError("a model needs at least one layer")
+        for position, layer in enumerate(self.layers):
+            if layer.index != position:
+                raise ConfigurationError("layer indices must be contiguous from zero")
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    def forward_flops(self, microbatch: int) -> float:
+        return sum(layer.forward_flops(microbatch) for layer in self.layers)
+
+    def backward_flops(self, microbatch: int) -> float:
+        return sum(layer.backward_flops(microbatch) for layer in self.layers)
+
+    def iteration_flops(self, batch: int) -> float:
+        """FLOPs of one full forward+backward over ``batch`` samples."""
+        return self.forward_flops(batch) + self.backward_flops(batch)
+
+
+def build_model(config: TransformerConfig) -> ModelSpec:
+    """Lay out embedding + transformer stack + head for ``config``."""
+    layers = [LayerSpec(index=0, kind=LayerKind.EMBEDDING, config=config)]
+    for offset in range(config.n_layers):
+        layers.append(LayerSpec(index=1 + offset, kind=LayerKind.TRANSFORMER, config=config))
+    layers.append(LayerSpec(index=1 + config.n_layers, kind=LayerKind.HEAD, config=config))
+    return ModelSpec(config=config, layers=layers)

@@ -1,0 +1,26 @@
+"""Inter-operator (pipeline) parallelism: partitioning and schedules."""
+
+from repro.pipeline.stage import Stage, StagePlan
+from repro.pipeline.partition import (
+    partition_computation_balanced,
+    partition_memory_balanced,
+    partition_model,
+)
+from repro.pipeline.schedule import PipelineSchedule, ScheduleOp, OpKind
+from repro.pipeline.pipedream import pipedream_schedule
+from repro.pipeline.dapple import dapple_schedule
+from repro.pipeline.gpipe import gpipe_schedule
+
+__all__ = [
+    "Stage",
+    "StagePlan",
+    "partition_computation_balanced",
+    "partition_memory_balanced",
+    "partition_model",
+    "PipelineSchedule",
+    "ScheduleOp",
+    "OpKind",
+    "pipedream_schedule",
+    "dapple_schedule",
+    "gpipe_schedule",
+]

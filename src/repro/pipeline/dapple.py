@@ -1,0 +1,59 @@
+"""DAPPLE-style synchronous pipeline schedule (Figure 1b).
+
+Each minibatch runs an early-backward 1F1B wave, fully drains, then
+every stage applies its optimizer before the next minibatch enters —
+the vertical bold line in the paper's Figure 1(b).  Only one weight
+version is ever live, so DAPPLE sustains larger models than
+PipeDream at equal hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ScheduleError
+from repro.pipeline.schedule import (
+    OpKind,
+    PipelineSchedule,
+    ScheduleOp,
+    one_f_one_b,
+    relabel_minibatch,
+)
+
+
+def dapple_schedule(
+    n_stages: int,
+    n_minibatches: int,
+    microbatches_per_minibatch: int,
+) -> PipelineSchedule:
+    """Build the per-minibatch drained 1F1B schedule.
+
+    >>> sched = dapple_schedule(3, 2, 6)
+    >>> sched.weight_versions(0)
+    1
+    >>> sched.max_in_flight(0)
+    3
+    """
+    if n_stages < 1 or n_minibatches < 1 or microbatches_per_minibatch < 1:
+        raise ScheduleError("stage/minibatch/microbatch counts must be positive")
+
+    per_stage: List[List[ScheduleOp]] = []
+    for stage in range(n_stages):
+        ops: List[ScheduleOp] = []
+        for minibatch in range(n_minibatches):
+            ids = [
+                minibatch * microbatches_per_minibatch + i
+                for i in range(microbatches_per_minibatch)
+            ]
+            warmup = min(microbatches_per_minibatch, n_stages - stage)
+            ops.extend(one_f_one_b(n_stages, stage, ids, warmup))
+            ops.append(ScheduleOp(OpKind.OPTIMIZER, -1, minibatch))
+        per_stage.append(relabel_minibatch(ops, microbatches_per_minibatch))
+
+    return PipelineSchedule(
+        mode="sync",
+        n_stages=n_stages,
+        n_minibatches=n_minibatches,
+        microbatches_per_minibatch=microbatches_per_minibatch,
+        per_stage=per_stage,
+    )

@@ -1,0 +1,63 @@
+"""GPipe-style synchronous pipeline schedule.
+
+GPipe runs *all* forwards of a minibatch before any backward (no
+early-backward interleaving), then drains backwards and applies the
+optimizer — synchronous like DAPPLE but with a deeper activation
+high-water mark: every stage holds all in-flight microbatches at the
+forward/backward turning point.
+
+The paper's Section III-E notes MPress "is general and can be applied
+to other inter-operator training systems such as GPipe"; this module
+provides that integration point — the schedule plugs into the same
+executor/planner machinery as PipeDream and DAPPLE.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ScheduleError
+from repro.pipeline.schedule import (
+    OpKind,
+    PipelineSchedule,
+    ScheduleOp,
+    relabel_minibatch,
+)
+
+
+def gpipe_schedule(
+    n_stages: int,
+    n_minibatches: int,
+    microbatches_per_minibatch: int,
+) -> PipelineSchedule:
+    """Build the all-forward-then-all-backward schedule.
+
+    >>> sched = gpipe_schedule(3, 1, 4)
+    >>> sched.max_in_flight(0)
+    4
+    >>> sched.weight_versions(0)
+    1
+    """
+    if n_stages < 1 or n_minibatches < 1 or microbatches_per_minibatch < 1:
+        raise ScheduleError("stage/minibatch/microbatch counts must be positive")
+
+    per_stage: List[List[ScheduleOp]] = []
+    for _stage in range(n_stages):
+        ops: List[ScheduleOp] = []
+        for minibatch in range(n_minibatches):
+            ids = [
+                minibatch * microbatches_per_minibatch + i
+                for i in range(microbatches_per_minibatch)
+            ]
+            ops.extend(ScheduleOp(OpKind.FORWARD, mb, -1) for mb in ids)
+            ops.extend(ScheduleOp(OpKind.BACKWARD, mb, -1) for mb in reversed(ids))
+            ops.append(ScheduleOp(OpKind.OPTIMIZER, -1, minibatch))
+        per_stage.append(relabel_minibatch(ops, microbatches_per_minibatch))
+
+    return PipelineSchedule(
+        mode="sync",
+        n_stages=n_stages,
+        n_minibatches=n_minibatches,
+        microbatches_per_minibatch=microbatches_per_minibatch,
+        per_stage=per_stage,
+    )

@@ -1,0 +1,67 @@
+"""PipeDream-style asynchronous pipeline schedule (Figure 1a).
+
+Minibatches are *not* serialized: the forward of minibatch ``k+1``
+overlaps the backward of minibatch ``k``, so the pipeline never
+drains.  The price is weight stashing — stage ``s`` keeps
+``n_stages - s`` parameter versions to keep gradient computation
+consistent (Section II-C), which is why PipeDream sustains smaller
+models than DAPPLE at equal hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ScheduleError
+from repro.pipeline.schedule import (
+    OpKind,
+    PipelineSchedule,
+    ScheduleOp,
+    one_f_one_b,
+    relabel_minibatch,
+)
+
+
+def pipedream_schedule(
+    n_stages: int,
+    n_minibatches: int,
+    microbatches_per_minibatch: int,
+) -> PipelineSchedule:
+    """Build the continuous 1F1B schedule over all minibatches.
+
+    >>> sched = pipedream_schedule(3, 2, 3)
+    >>> sched.weight_versions(0)
+    3
+    >>> sched.max_in_flight(0) > sched.max_in_flight(2)
+    True
+    """
+    if n_stages < 1 or n_minibatches < 1 or microbatches_per_minibatch < 1:
+        raise ScheduleError("stage/minibatch/microbatch counts must be positive")
+
+    all_ids = list(range(n_minibatches * microbatches_per_minibatch))
+    minibatch_last = {
+        (k + 1) * microbatches_per_minibatch - 1: k for k in range(n_minibatches)
+    }
+
+    per_stage: List[List[ScheduleOp]] = []
+    for stage in range(n_stages):
+        warmup = n_stages - stage
+        ops = one_f_one_b(n_stages, stage, all_ids, warmup)
+        with_opt: List[ScheduleOp] = []
+        for op in ops:
+            with_opt.append(op)
+            # Apply the optimizer as soon as a minibatch's last
+            # backward finishes on this stage (no global flush).
+            if op.kind is OpKind.BACKWARD and op.microbatch in minibatch_last:
+                with_opt.append(
+                    ScheduleOp(OpKind.OPTIMIZER, -1, minibatch_last[op.microbatch])
+                )
+        per_stage.append(relabel_minibatch(with_opt, microbatches_per_minibatch))
+
+    return PipelineSchedule(
+        mode="async",
+        n_stages=n_stages,
+        n_minibatches=n_minibatches,
+        microbatches_per_minibatch=microbatches_per_minibatch,
+        per_stage=per_stage,
+    )

@@ -1,0 +1,167 @@
+"""Pipeline schedules: per-stage ordered op sequences.
+
+A :class:`PipelineSchedule` lists, for every stage, the exact order
+in which it runs forward passes, backward passes, and optimizer
+steps over the microbatches of one or more minibatches — the
+information Figure 1 of the paper draws as black/white boxes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ScheduleError
+
+
+class OpKind(enum.Enum):
+    FORWARD = "fwd"
+    BACKWARD = "bwd"
+    OPTIMIZER = "opt"
+
+
+@dataclass(frozen=True)
+class ScheduleOp:
+    """One scheduled computation on one stage."""
+
+    kind: OpKind
+    microbatch: int   # global microbatch id; -1 for optimizer steps
+    minibatch: int
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.OPTIMIZER:
+            if self.microbatch != -1:
+                raise ScheduleError("optimizer ops carry microbatch=-1")
+        elif self.microbatch < 0:
+            raise ScheduleError("compute ops need a non-negative microbatch id")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Per-stage op orderings plus scheduling-mode metadata."""
+
+    mode: str  # "async" (PipeDream) or "sync" (DAPPLE)
+    n_stages: int
+    n_minibatches: int
+    microbatches_per_minibatch: int
+    per_stage: List[List[ScheduleOp]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("async", "sync"):
+            raise ScheduleError(f"unknown schedule mode {self.mode!r}")
+        if len(self.per_stage) != self.n_stages:
+            raise ScheduleError(
+                f"schedule has {len(self.per_stage)} stage rows, expected {self.n_stages}"
+            )
+        self._validate_counts()
+        self._validate_order()
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def total_microbatches(self) -> int:
+        return self.n_minibatches * self.microbatches_per_minibatch
+
+    def weight_versions(self, stage: int) -> int:
+        """Stashed weight copies a stage must keep (Section II-C).
+
+        Asynchronous scheduling (PipeDream) stashes one version per
+        in-flight minibatch — more at earlier stages; synchronous
+        scheduling (DAPPLE) keeps a single version everywhere.
+        """
+        self._check_stage(stage)
+        if self.mode == "sync":
+            return 1
+        return self.n_stages - stage
+
+    def max_in_flight(self, stage: int) -> int:
+        """Upper bound on concurrently-held microbatch activations."""
+        self._check_stage(stage)
+        in_flight = 0
+        worst = 0
+        for op in self.per_stage[stage]:
+            if op.kind is OpKind.FORWARD:
+                in_flight += 1
+                worst = max(worst, in_flight)
+            elif op.kind is OpKind.BACKWARD:
+                in_flight -= 1
+        return worst
+
+    def stage_ops(self, stage: int) -> List[ScheduleOp]:
+        self._check_stage(stage)
+        return self.per_stage[stage]
+
+    # -- validation --------------------------------------------------------
+
+    def _validate_counts(self) -> None:
+        expected = set(range(self.total_microbatches))
+        for stage, ops in enumerate(self.per_stage):
+            fwds = [op.microbatch for op in ops if op.kind is OpKind.FORWARD]
+            bwds = [op.microbatch for op in ops if op.kind is OpKind.BACKWARD]
+            if set(fwds) != expected or len(fwds) != len(expected):
+                raise ScheduleError(f"stage {stage}: forward set incomplete or duplicated")
+            if set(bwds) != expected or len(bwds) != len(expected):
+                raise ScheduleError(f"stage {stage}: backward set incomplete or duplicated")
+
+    def _validate_order(self) -> None:
+        for stage, ops in enumerate(self.per_stage):
+            seen_forward = set()
+            for op in ops:
+                if op.kind is OpKind.FORWARD:
+                    seen_forward.add(op.microbatch)
+                elif op.kind is OpKind.BACKWARD and op.microbatch not in seen_forward:
+                    raise ScheduleError(
+                        f"stage {stage}: backward of microbatch {op.microbatch} "
+                        "precedes its forward"
+                    )
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.n_stages:
+            raise ScheduleError(f"stage {stage} out of range")
+
+
+def one_f_one_b(
+    n_stages: int,
+    stage: int,
+    microbatch_ids: List[int],
+    warmup: int,
+) -> List[ScheduleOp]:
+    """The 1F1B interleaving used by both PipeDream and DAPPLE.
+
+    ``warmup`` forwards run first, then the stage alternates backward
+    and forward until both directions drain.  ``minibatch`` labels are
+    attached by the callers.
+    """
+    if warmup < 1:
+        raise ScheduleError("warmup must be at least 1")
+    total = len(microbatch_ids)
+    warmup = min(warmup, total)
+    ops: List[ScheduleOp] = []
+    next_fwd = 0
+    next_bwd = 0
+    for _ in range(warmup):
+        ops.append(ScheduleOp(OpKind.FORWARD, microbatch_ids[next_fwd], -1))
+        next_fwd += 1
+    while next_bwd < total:
+        ops.append(ScheduleOp(OpKind.BACKWARD, microbatch_ids[next_bwd], -1))
+        next_bwd += 1
+        if next_fwd < total:
+            ops.append(ScheduleOp(OpKind.FORWARD, microbatch_ids[next_fwd], -1))
+            next_fwd += 1
+    return ops
+
+
+def relabel_minibatch(
+    ops: List[ScheduleOp], microbatches_per_minibatch: int
+) -> List[ScheduleOp]:
+    """Attach minibatch ids derived from global microbatch ids."""
+    relabeled = []
+    for op in ops:
+        if op.kind is OpKind.OPTIMIZER:
+            relabeled.append(op)
+        else:
+            relabeled.append(
+                ScheduleOp(op.kind, op.microbatch, op.microbatch // microbatches_per_minibatch)
+            )
+    return relabeled

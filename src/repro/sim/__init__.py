@@ -1,0 +1,26 @@
+"""Discrete-event simulation of a multi-GPU training server.
+
+The simulator substitutes for the paper's physical testbed.  It
+models CUDA-like in-order streams (one compute stream plus dedicated
+swap-in/swap-out copy streams per GPU, Section III-E), individual
+NVLink lane channels, PCIe channels, NVMe queues, and per-device
+memory accounting over time.
+"""
+
+from repro.sim.engine import Engine, Task, TaskState
+from repro.sim.resources import Stream, StreamSet
+from repro.sim.memory import DeviceMemory, MemoryModel, PinnedPool
+from repro.sim.trace import TraceEvent, Trace
+
+__all__ = [
+    "Engine",
+    "Task",
+    "TaskState",
+    "Stream",
+    "StreamSet",
+    "DeviceMemory",
+    "MemoryModel",
+    "PinnedPool",
+    "TraceEvent",
+    "Trace",
+]

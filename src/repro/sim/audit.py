@@ -1,0 +1,138 @@
+"""Post-run simulation audits.
+
+A completed :class:`~repro.sim.executor.SimulationResult` carries the
+full event trace and memory books; these audits verify the invariants
+any correct execution must satisfy — causality between matching
+forward/backward passes, swap pairing, non-overlapping compute per
+device, and memory conservation.  They run in tests and are available
+to users debugging custom plans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.tensor import TensorKind, tensor_classes_for
+from repro.sim.executor import SimulationResult
+
+
+@dataclass
+class AuditReport:
+    """Violations found by :func:`audit_simulation` (empty = clean)."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def extend(self, issues) -> None:
+        self.violations.extend(issues)
+
+
+def audit_simulation(result: SimulationResult) -> AuditReport:
+    """Run every audit against a finished simulation."""
+    report = AuditReport()
+    if not result.ok:
+        report.extend(["simulation did not complete (OOM)"])
+        return report
+    report.extend(_audit_compute_pairing(result))
+    report.extend(_audit_causality(result))
+    report.extend(_audit_no_compute_overlap(result))
+    report.extend(_audit_swap_pairing(result))
+    report.extend(_audit_memory_books(result))
+    return report
+
+
+def _compute_events(result: SimulationResult, kind: str):
+    return [e for e in result.trace.events if e.kind == kind]
+
+
+def _audit_compute_pairing(result: SimulationResult) -> List[str]:
+    """Every (device, layer, microbatch) forward has one backward."""
+    issues = []
+    fwd = {(e.device, e.layer, e.microbatch) for e in _compute_events(result, "fwd")}
+    bwd = {(e.device, e.layer, e.microbatch) for e in _compute_events(result, "bwd")}
+    for key in fwd ^ bwd:
+        issues.append(f"unpaired compute for (device, layer, microbatch) {key}")
+    return issues
+
+
+def _audit_causality(result: SimulationResult) -> List[str]:
+    """A backward pass never starts before its forward pass ended."""
+    issues = []
+    fwd_end: Dict[Tuple[int, int, int], float] = {}
+    for event in _compute_events(result, "fwd"):
+        fwd_end[(event.device, event.layer, event.microbatch)] = event.end
+    for event in _compute_events(result, "bwd"):
+        key = (event.device, event.layer, event.microbatch)
+        if key in fwd_end and event.start < fwd_end[key] - 1e-12:
+            issues.append(f"backward before forward for {key}")
+    return issues
+
+
+def _audit_no_compute_overlap(result: SimulationResult) -> List[str]:
+    """Compute events on one device never overlap (one compute stream)."""
+    issues = []
+    by_device: Dict[int, List[Tuple[float, float, str]]] = defaultdict(list)
+    for event in result.trace.events:
+        if event.kind in ("fwd", "bwd", "opt", "recompute"):
+            by_device[event.device].append((event.start, event.end, event.name))
+    for device, windows in by_device.items():
+        windows.sort()
+        for (s1, e1, n1), (s2, _e2, n2) in zip(windows, windows[1:]):
+            if s2 < e1 - 1e-9:
+                issues.append(
+                    f"device {device}: compute overlap between {n1} and {n2}"
+                )
+    return issues
+
+
+def _audit_swap_pairing(result: SimulationResult) -> List[str]:
+    """Swap-outs and swap-ins balance per device."""
+    issues = []
+    outs: Dict[int, int] = defaultdict(int)
+    ins: Dict[int, int] = defaultdict(int)
+    for event in result.trace.events:
+        if event.kind == "swap_out":
+            outs[event.device] += 1
+        elif event.kind == "swap_in":
+            ins[event.device] += 1
+    for device in set(outs) | set(ins):
+        if outs[device] != ins[device]:
+            issues.append(
+                f"device {device}: {outs[device]} swap-outs vs {ins[device]} swap-ins"
+            )
+    return issues
+
+
+def _audit_memory_books(result: SimulationResult) -> List[str]:
+    """At the end only static model state remains resident."""
+    issues = []
+    job = result.job
+    classes = tensor_classes_for(
+        job.stage_plan, job.schedule, job.microbatch_size, job.bytes_per_element
+    )
+    expected: Dict[int, int] = defaultdict(int)
+    for cls in classes:
+        device = result.plan.device_of(cls.stage)
+        action = result.plan.action_for(cls)
+        if cls.kind is TensorKind.WORKING_STATE:
+            expected[device] += cls.peak_bytes
+        elif cls.kind is TensorKind.OPTIMIZER_STATE:
+            if action.value == "none":
+                expected[device] += cls.peak_bytes
+            elif action.value == "d2d-swap":
+                stripe = result.plan.entry_for(cls).stripe
+                for importer in stripe.importers:
+                    expected[importer] += stripe.bytes_to(importer)
+    for device in range(job.server.n_gpus):
+        actual = result.memory.gpu(device).in_use
+        if actual != expected[device]:
+            issues.append(
+                f"device {device}: {actual} bytes resident at end, "
+                f"expected {expected[device]} (leak or double-free)"
+            )
+    return issues

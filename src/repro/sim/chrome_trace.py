@@ -1,0 +1,79 @@
+"""Export simulation traces to Chrome's trace-event format.
+
+Open the produced JSON in ``chrome://tracing`` (or Perfetto) to see
+the pipeline execution the way the paper draws Figure 1: one row per
+simulated resource, compute boxes interleaved with swap transfers.
+
+Times are exported in microseconds, as the format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.sim.trace import Trace
+
+# One process per device; lanes/copy engines become threads.
+_KIND_THREADS = {
+    "fwd": "compute",
+    "bwd": "compute",
+    "opt": "compute",
+    "recompute": "compute",
+    "comm": "nvlink",
+    "swap_out": "swap",
+    "swap_in": "swap",
+}
+
+_KIND_COLORS = {
+    "fwd": "good",
+    "bwd": "bad",
+    "recompute": "terrible",
+    "opt": "yellow",
+    "comm": "grey",
+    "swap_out": "thread_state_iowait",
+    "swap_in": "thread_state_running",
+}
+
+
+def trace_to_events(trace: Trace) -> List[Dict]:
+    """Lower a :class:`Trace` into chrome trace-event dicts."""
+    events: List[Dict] = []
+    for event in trace.events:
+        thread = _KIND_THREADS.get(event.kind, "other")
+        record = {
+            "name": event.name,
+            "cat": event.kind,
+            "ph": "X",  # complete event
+            "ts": event.start * 1e6,
+            "dur": max(0.0, event.duration) * 1e6,
+            "pid": event.device,
+            "tid": thread,
+            "args": {"microbatch": event.microbatch, "layer": event.layer},
+        }
+        color = _KIND_COLORS.get(event.kind)
+        if color is not None:
+            record["cname"] = color
+        events.append(record)
+    return events
+
+
+def trace_to_chrome(trace: Trace, device_names: Dict[int, str] = None) -> Dict:
+    """Full chrome-trace document (events + process metadata)."""
+    events = trace_to_events(trace)
+    devices = sorted({e.device for e in trace.events})
+    for device in devices:
+        label = (device_names or {}).get(device, f"gpu{device}")
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": device,
+            "args": {"name": label},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(trace: Trace, path: str, device_names: Dict[int, str] = None) -> None:
+    """Write the trace to ``path`` for chrome://tracing."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_chrome(trace, device_names), handle)

@@ -1,0 +1,175 @@
+"""Discrete-event engine with in-order and pooled streams.
+
+Execution model (mirrors CUDA semantics, which the paper's runtime
+relies on — Section III-E):
+
+* A :class:`Task` has a fixed duration, a set of dependency tasks,
+  and optional start/finish hooks.
+* Every task is submitted to exactly one :class:`repro.sim.resources.Stream`.
+  FIFO streams (GPU compute queues) execute tasks in submission
+  order; pool streams (NVLink lanes, PCIe directions, NVMe queues)
+  execute one task at a time but pick any ready one — hardware links
+  arbitrate among whichever transfers are pending.
+* The engine advances time event by event until no task can run.
+
+A schedule that can never complete (a dependency cycle across
+streams) is detected and reported as a :class:`ScheduleError` instead
+of hanging.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ScheduleError, SimulationError
+
+Hook = Callable[["Task", float], None]
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Task:
+    """One unit of simulated work (compute kernel, transfer, ...)."""
+
+    __slots__ = (
+        "name",
+        "duration",
+        "deps",
+        "on_start",
+        "on_done",
+        "state",
+        "start_time",
+        "end_time",
+        "stream",
+        "dependents",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        duration: float,
+        deps: Sequence["Task"] = (),
+        on_start: Optional[Hook] = None,
+        on_done: Optional[Hook] = None,
+        tag: Optional[str] = None,
+    ):
+        if duration < 0:
+            raise SimulationError(f"task {name}: negative duration {duration}")
+        self.name = name
+        self.duration = duration
+        self.deps: List[Task] = []
+        self.on_start = on_start
+        self.on_done = on_done
+        self.state = TaskState.PENDING
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.stream = None  # set by Stream.submit
+        self.dependents: List[Task] = []
+        self.tag = tag
+        for dep in deps:
+            self.add_dep(dep)
+
+    def add_dep(self, dep: "Task") -> None:
+        if self.state is not TaskState.PENDING:
+            raise SimulationError(f"task {self.name}: cannot add dep after start")
+        self.deps.append(dep)
+        dep.dependents.append(self)
+
+    @property
+    def ready(self) -> bool:
+        return all(dep.state is TaskState.DONE for dep in self.deps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name}, {self.state.value})"
+
+
+class Engine:
+    """Event loop driving a set of streams."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._counter = itertools.count()
+        self._streams: List = []
+        self._n_done = 0
+        self._n_submitted = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def register_stream(self, stream) -> None:
+        self._streams.append(stream)
+        stream.engine = self
+
+    def note_submission(self, task: Task) -> None:
+        self._n_submitted += 1
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run all submitted work; returns the finish time.
+
+        Raises :class:`ScheduleError` if tasks remain but none can
+        make progress (a cross-stream dependency cycle).
+        """
+        self._kick_all()
+        while self._heap:
+            time, _, task = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            self.now = time
+            self._finish(task)
+        if self._n_done != self._n_submitted:
+            stuck = self._stuck_tasks()
+            names = ", ".join(t.name for t in stuck[:8])
+            raise ScheduleError(
+                f"deadlock: {self._n_submitted - self._n_done} tasks cannot run "
+                f"(e.g. {names})"
+            )
+        return self.now
+
+    def _kick_all(self) -> None:
+        for stream in self._streams:
+            self._try_start(stream)
+
+    def _try_start(self, stream) -> None:
+        task = stream.startable()
+        if task is None:
+            return
+        task.state = TaskState.RUNNING
+        task.start_time = self.now
+        if task.on_start is not None:
+            task.on_start(task, self.now)
+        heapq.heappush(self._heap, (self.now + task.duration, next(self._counter), task))
+
+    def _finish(self, task: Task) -> None:
+        task.state = TaskState.DONE
+        task.end_time = self.now
+        self._n_done += 1
+        stream = task.stream
+        stream.pop_done(task)
+        if task.on_done is not None:
+            task.on_done(task, self.now)
+        # The finishing task may unblock its own stream's next task and
+        # the streams holding its dependents.
+        self._try_start(stream)
+        seen = {id(stream)}
+        for dependent in task.dependents:
+            dep_stream = dependent.stream
+            if dep_stream is not None and id(dep_stream) not in seen:
+                seen.add(id(dep_stream))
+                self._try_start(dep_stream)
+
+    def _stuck_tasks(self) -> List[Task]:
+        stuck = []
+        for stream in self._streams:
+            stuck.extend(t for t in stream.pending_tasks() if t.state is TaskState.PENDING)
+        return stuck

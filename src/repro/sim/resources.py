@@ -1,0 +1,107 @@
+"""Streams: execution resources with FIFO or pooled dispatch.
+
+Every simulated resource that serializes work is a :class:`Stream`:
+
+* ``fifo`` — a GPU compute queue: tasks run strictly in submission
+  order (CUDA stream semantics, which 1F1B scheduling relies on).
+* ``pool`` — a hardware link (one NVLink lane direction, one PCIe
+  direction, an NVMe queue): one transfer at a time, but the link
+  serves whichever pending transfer is ready, as real link
+  arbitration does.
+
+A :class:`StreamSet` is a lazily-populated registry keyed by channel
+keys (the topology's lane keys, ``("compute", gpu)``, ``("pcie_d2h",
+gpu)``, ...).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Task, TaskState
+
+
+class Stream:
+    """A single-server task queue bound to an engine."""
+
+    def __init__(self, name: str, mode: str = "fifo"):
+        if mode not in ("fifo", "pool"):
+            raise SimulationError(f"unknown stream mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.engine: Optional[Engine] = None
+        self._queue: Deque[Task] = deque()
+        self._running: Optional[Task] = None
+        self.busy_time = 0.0
+
+    def submit(self, task: Task) -> Task:
+        if self.engine is None:
+            raise SimulationError(f"stream {self.name} not registered with an engine")
+        if task.stream is not None:
+            raise SimulationError(f"task {task.name} already submitted to {task.stream.name}")
+        task.stream = self
+        self._queue.append(task)
+        self.engine.note_submission(task)
+        return task
+
+    def startable(self) -> Optional[Task]:
+        """A task this stream may start now, if any."""
+        if self._running is not None or not self._queue:
+            return None
+        if self.mode == "fifo":
+            head = self._queue[0]
+            if head.state is not TaskState.PENDING or not head.ready:
+                return None
+            self._running = head
+            return head
+        for task in self._queue:
+            if task.state is TaskState.PENDING and task.ready:
+                self._running = task
+                return task
+        return None
+
+    def pop_done(self, task: Task) -> None:
+        if self._running is not task:
+            raise SimulationError(f"stream {self.name}: finishing a task that is not running")
+        self._queue.remove(task)
+        self._running = None
+        self.busy_time += task.duration
+
+    def pending_tasks(self) -> List[Task]:
+        return list(self._queue)
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of ``makespan`` this stream spent busy."""
+        if makespan <= 0:
+            return 0.0
+        return self.busy_time / makespan
+
+
+class StreamSet:
+    """Registry of streams keyed by hashable channel keys."""
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+        self._streams: Dict[Hashable, Stream] = {}
+
+    def get(self, key: Hashable, mode: str = "fifo") -> Stream:
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = Stream(name=str(key), mode=mode)
+            self._engine.register_stream(stream)
+            self._streams[key] = stream
+        return stream
+
+    def submit(self, key: Hashable, task: Task, mode: str = "fifo") -> Task:
+        return self.get(key, mode=mode).submit(task)
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._streams.keys()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,62 @@
+"""Unit helpers used throughout the library.
+
+All byte quantities in the library are plain ``int`` bytes; all times
+are ``float`` seconds; all bandwidths are ``float`` bytes/second.
+These helpers exist so call sites read like the paper's prose
+(``32 * GiB``, ``25 * GBps``) instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+# Binary byte multiples (memory capacities).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal byte multiples (link bandwidths, as vendors quote them).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Bandwidth: bytes per second.
+MBps = MB
+GBps = GB
+
+# Time.
+US = 1e-6
+MS = 1e-3
+
+# Compute.
+TFLOP = 1e12
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-readable binary suffix.
+
+    >>> fmt_bytes(3 * GiB)
+    '3.00 GiB'
+    """
+    value = float(n)
+    for suffix, scale in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration using the most natural unit.
+
+    >>> fmt_time(0.0042)
+    '4.20 ms'
+    """
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.2f} s"
+    if abs(seconds) >= MS:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds / US:.1f} us"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth in GB/s (the unit the paper uses)."""
+    return f"{bytes_per_second / GBps:.1f} GB/s"

@@ -1,0 +1,48 @@
+"""Metrics and reporting helper tests."""
+
+import pytest
+
+from repro.analysis.metrics import speedup, throughput_summary
+from repro.analysis.reporting import format_series, format_table
+from repro.sim.executor import simulate
+
+from tests.conftest import tiny_job
+
+
+def test_throughput_summary_of_successful_run():
+    result = simulate(tiny_job(), strict=False)
+    summary = throughput_summary(result)
+    assert summary["ok"] == 1.0
+    assert summary["tflops"] > 0
+    assert summary["samples_per_second"] > 0
+
+
+def test_speedup_ratios():
+    assert speedup(20.0, 10.0) == pytest.approx(2.0)
+    assert speedup(0.0, 10.0) is None
+    assert speedup(10.0, 0.0) is None
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["model", "tflops"],
+        [["Bert-0.64B", 66.1], ["GPT-5.3B", 281.52]],
+        title="Figure 7",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Figure 7"
+    assert "model" in lines[1] and "tflops" in lines[1]
+    assert lines[2].startswith("---")
+    assert len(lines) == 5
+    # Columns align: every row has the separator at the same offset.
+    offset = lines[1].index("tflops")
+    assert lines[3][offset - 2: offset] == "  "
+
+
+def test_format_series():
+    text = format_series("MPress", ["0.35B", "0.64B"], [62.0, 66.123], unit=" TF")
+    assert text == "MPress: 0.35B=62.00 TF, 0.64B=66.12 TF"
+
+
+def test_format_series_with_ints():
+    assert format_series("x", [1], [2]) == "x: 1=2"

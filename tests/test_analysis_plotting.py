@@ -1,0 +1,57 @@
+"""ASCII plotting helper tests."""
+
+from repro.analysis.plotting import bar_chart, grouped_bars, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart(["big", "half"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_oom_rendering(self):
+        text = bar_chart(["dead"], [0.0])
+        assert "OOM" in text
+
+    def test_none_treated_as_oom(self):
+        text = bar_chart(["dead"], [None])
+        assert "OOM" in text
+
+    def test_title_and_units(self):
+        text = bar_chart(["a"], [1.0], title="Figure", unit=" TF")
+        assert text.startswith("Figure")
+        assert "1.00 TF" in text
+
+    def test_labels_aligned(self):
+        text = bar_chart(["x", "long-label"], [1.0, 2.0], width=5)
+        lines = text.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+
+class TestGroupedBars:
+    def test_groups_and_series(self):
+        text = grouped_bars(
+            ["0.35B", "0.64B"],
+            {"mpress": [62.0, 66.0], "none": [62.0, None]},
+            width=10,
+        )
+        assert "0.35B:" in text and "0.64B:" in text
+        assert text.count("mpress") == 2
+        assert "OOM" in text  # the None cell
+
+    def test_global_scale_across_series(self):
+        text = grouped_bars(["g"], {"a": [10.0], "b": [5.0]}, width=10)
+        lines = [l for l in text.splitlines() if "█" in l]
+        assert lines[0].count("█") == 2 * lines[1].count("█")
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,78 @@
+"""Section V projection tests."""
+
+import pytest
+
+from repro.analysis.projection import (
+    GRACE_HOPPER,
+    ProjectionReport,
+    SuperchipSpec,
+    gpt3_model,
+    project,
+)
+from repro.errors import ConfigurationError
+from repro.units import GBps, GiB, TFLOP
+
+
+def test_gpt3_parameter_count():
+    model = gpt3_model()
+    assert abs(model.total_params - 175e9) / 175e9 < 0.05
+
+
+def test_gpt3_overflows_grace_hopper_hbm():
+    # The paper: "even with 96GB (HBM) + 512GB ... training 175B GPT-3
+    # still faces the OOM problem" on the fast tier.
+    report = project()
+    assert not report.fits_hbm
+    assert report.fits_with_cpu_memory
+
+
+def test_required_hiding_bandwidth_exceeds_paper_threshold():
+    # Paper: "we expect the PCI-e bandwidth to exceed 140 GB/s".
+    report = project()
+    assert report.required_hiding_bandwidth > 140 * GBps
+    # And the chip's 64 GB/s link exposes substantial swap time.
+    assert report.swap_exposed_fraction > 0.1
+
+
+def test_recompute_waste_is_quarter_of_compute():
+    # Paper: D2D can save "25% of wasted resources by Recomputation".
+    assert project().recompute_waste_fraction == pytest.approx(0.25)
+
+
+def test_bigger_fleet_relieves_pressure():
+    eight = project(n_devices=8)
+    sixteen = project(n_devices=16)
+    assert sixteen.state_bytes_per_device < eight.state_bytes_per_device
+
+
+def test_faster_link_hides_more():
+    fat_link = SuperchipSpec(
+        name="future",
+        hbm_bytes=GRACE_HOPPER.hbm_bytes,
+        cpu_bytes=GRACE_HOPPER.cpu_bytes,
+        cpu_link_bandwidth=200 * GBps,
+        peak_fp16=GRACE_HOPPER.peak_fp16,
+    )
+    assert project(superchip=fat_link).swap_exposed_fraction < (
+        project().swap_exposed_fraction
+    )
+
+
+def test_small_model_fits_everywhere():
+    from tests.conftest import tiny_model
+
+    report = project(model=tiny_model(), n_devices=2)
+    assert report.fits_hbm
+    assert report.swap_exposed_fraction == 0.0
+
+
+def test_summary_mentions_key_quantities():
+    text = project().summary()
+    assert "GB/s" in text and "GiB" in text and "recomputation" in text.lower()
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SuperchipSpec("bad", 0, 1, 1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        SuperchipSpec("bad", 1, 1, 0.0, 1.0)

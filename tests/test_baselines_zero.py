@@ -1,0 +1,111 @@
+"""ZeRO-Offload / ZeRO-Infinity baseline model tests."""
+
+import pytest
+
+from repro.baselines.zero import run_zero, zero_memory_per_gpu
+from repro.errors import ConfigurationError
+from repro.hardware.server import dgx1_server, dgx2_server
+from repro.models import gpt_variant
+
+from tests.conftest import small_server, tiny_model
+
+
+class TestMemoryModel:
+    def test_sharding_divides_state(self):
+        model = tiny_model()
+        one_gpu = small_server()
+        per_gpu = zero_memory_per_gpu(model, one_gpu, local_batch=2)
+        # Sharded params+grads are 4 bytes / n_gpus per parameter.
+        assert per_gpu > model.total_params * 4 // one_gpu.n_gpus
+
+    def test_supports_25B_on_both_servers(self):
+        # The paper's headline: both ZeRO variants scale to 25.5B.
+        model = gpt_variant(25.5)
+        for server in (dgx1_server(), dgx2_server()):
+            for variant in ("offload", "infinity"):
+                assert run_zero(model, server, variant, 32).ok
+
+
+class TestTiming:
+    def test_infinity_beats_offload_on_fast_nvme(self):
+        # Figure 8a: ZeRO-Infinity outperforms Offload on DGX-1.
+        model = gpt_variant(10.3)
+        server = dgx1_server()
+        off = run_zero(model, server, "offload", 32)
+        inf = run_zero(model, server, "infinity", 32)
+        assert inf.tflops > off.tflops
+
+    def test_offload_beats_infinity_on_slow_nvme(self):
+        # Figure 8b: the rented DGX-2's slow SSDs invert the ranking.
+        model = gpt_variant(20.4)
+        server = dgx2_server()
+        off = run_zero(model, server, "offload", 32)
+        inf = run_zero(model, server, "infinity", 32)
+        assert off.tflops > inf.tflops
+
+    def test_cpu_adam_exposed_in_offload(self):
+        result = run_zero(gpt_variant(10.3), dgx1_server(), "offload", 32)
+        assert result.offload_exposed > 0
+
+    def test_throughput_roughly_flat_across_sizes(self):
+        # ZeRO throughput degrades only mildly with model size
+        # (Figure 8's flat ZeRO curves).
+        server = dgx1_server()
+        small = run_zero(gpt_variant(5.3), server, "offload", 32)
+        large = run_zero(gpt_variant(25.5), server, "offload", 32)
+        assert abs(small.tflops - large.tflops) / small.tflops < 0.2
+
+    def test_dgx2_roughly_doubles_dgx1(self):
+        model = gpt_variant(10.3)
+        v100 = run_zero(model, dgx1_server(), "offload", 32)
+        a100 = run_zero(model, dgx2_server(), "offload", 32)
+        assert a100.tflops > 1.8 * v100.tflops
+
+
+class TestValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_zero(tiny_model(), small_server(), "stage2", 8)
+
+    def test_batch_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            run_zero(tiny_model(), small_server(), "offload", 7)
+
+    def test_failure_reports_reason(self):
+        from repro.units import MiB
+
+        server = small_server(gpu_memory=8 * MiB)
+        result = run_zero(tiny_model(), server, "offload", 8)
+        assert not result.ok
+        assert "memory" in result.reason
+        assert result.tflops == 0.0
+
+
+class TestInternals:
+    def test_comm_scales_with_params(self):
+        small = run_zero(gpt_variant(5.3), dgx1_server(), "offload", 32)
+        large = run_zero(gpt_variant(20.4), dgx1_server(), "offload", 32)
+        # Collectives move 3 full fp16 model volumes; compute grows in
+        # step, so exposure stays bounded while compute time grows.
+        assert large.compute_time > small.compute_time
+
+    def test_minibatch_time_decomposition(self):
+        result = run_zero(gpt_variant(10.3), dgx1_server(), "infinity", 32)
+        assert result.minibatch_time == pytest.approx(
+            result.compute_time + result.comm_exposed + result.offload_exposed
+        )
+
+    def test_samples_per_second(self):
+        result = run_zero(gpt_variant(5.3), dgx1_server(), "offload", 32)
+        assert result.samples_per_second == pytest.approx(
+            32 / result.minibatch_time
+        )
+
+    def test_memory_feasibility_uses_local_batch(self):
+        from repro.baselines.zero import zero_memory_per_gpu
+
+        server = dgx1_server()
+        model = gpt_variant(5.3)
+        small = zero_memory_per_gpu(model, server, local_batch=1)
+        large = zero_memory_per_gpu(model, server, local_batch=8)
+        assert large > small

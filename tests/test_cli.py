@@ -1,0 +1,98 @@
+"""Command-line interface tests (fast paths on the small fixtures)."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_model, build_parser, main
+from repro.errors import ConfigurationError
+
+
+class TestModelSpecParsing:
+    def test_bert_spec(self):
+        model = _parse_model("bert-0.35")
+        assert model.config.name == "Bert-0.35B"
+
+    def test_gpt_spec_case_insensitive(self):
+        model = _parse_model("GPT-5.3b")
+        assert model.config.name == "GPT-5.3B"
+
+    def test_bad_specs_rejected(self):
+        for spec in ("bert", "llama-7", "bert-xx"):
+            with pytest.raises(ConfigurationError):
+                _parse_model(spec)
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("run", "profile", "plan", "zero", "capacity", "project"):
+            assert command in text
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--model", "bert-0.35"])
+        assert args.server == "dgx1"
+        assert args.system == "mpress"
+
+
+class TestCommands:
+    def test_project_command(self, capsys):
+        assert main(["project"]) == 0
+        out = capsys.readouterr().out
+        assert "GPT-3-175B" in out
+
+    def test_zero_command(self, capsys):
+        assert main(["zero", "--model", "gpt-5.3", "--variant", "offload"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--model", "bert-0.35"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 0" in out and "breakdown" in out
+
+    def test_run_small_model_ok(self, capsys, tmp_path):
+        plan_path = str(tmp_path / "plan.json")
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "none",
+            "--save-plan", plan_path,
+        ])
+        assert code == 0
+        with open(plan_path) as handle:
+            payload = json.load(handle)
+        assert payload["device_map"] == list(range(8))
+
+    def test_run_oom_returns_nonzero(self):
+        assert main(["run", "--model", "bert-0.64", "--system", "none"]) == 1
+
+    def test_bad_model_returns_error_code(self, capsys):
+        assert main(["run", "--model", "nope-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_chrome_trace_export(self, tmp_path):
+        trace_path = str(tmp_path / "trace.json")
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "none",
+            "--chrome-trace", trace_path,
+        ])
+        assert code == 0
+        with open(trace_path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]
+
+
+class TestPlannerKnobs:
+    def test_no_striping_and_identity_mapping(self, capsys):
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "mpress",
+            "--no-striping", "--mapping", "identity",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Identity mapping shows in the printed plan.
+        assert "[0, 1, 2, 3, 4, 5, 6, 7]" in out
+
+    def test_mapping_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "x", "--mapping", "best"])

@@ -1,0 +1,88 @@
+"""Capacity search tests."""
+
+import pytest
+
+from repro.core.capacity import max_microbatch, max_trainable_variant
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+from tests.conftest import small_server, tiny_job, tiny_model
+
+
+def _job_for_model(model, server):
+    return tiny_job(server=server, model=model, microbatch_size=8,
+                    microbatches_per_minibatch=6)
+
+
+class TestMaxVariant:
+    def test_finds_boundary(self):
+        server = small_server(gpu_memory=96 * MiB)
+        variants = {
+            float(n): tiny_model(n_layers=n) for n in (6, 10, 14, 22, 30)
+        }
+        result = max_trainable_variant(
+            variants, lambda m: _job_for_model(m, server), "none"
+        )
+        assert result.any_trainable
+        assert result.largest in variants
+        assert result.failures  # the biggest ones must fail
+        assert max(result.survivors) == result.largest
+        assert min(result.failures) > result.largest
+
+    def test_mpress_extends_the_boundary(self):
+        server = small_server(gpu_memory=96 * MiB)
+        variants = {float(n): tiny_model(n_layers=n) for n in (6, 10, 14, 22, 30)}
+        plain = max_trainable_variant(
+            variants, lambda m: _job_for_model(m, server), "none"
+        )
+        mpress = max_trainable_variant(
+            variants, lambda m: _job_for_model(m, server), "mpress"
+        )
+        assert mpress.largest >= plain.largest
+
+    def test_all_failing(self):
+        server = small_server(gpu_memory=8 * MiB)
+        variants = {10.0: tiny_model(n_layers=10)}
+        result = max_trainable_variant(
+            variants, lambda m: _job_for_model(m, server), "none"
+        )
+        assert not result.any_trainable
+
+    def test_empty_variants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_trainable_variant({}, lambda m: None, "none")
+
+
+class TestMaxMicrobatch:
+    def test_binary_search_finds_boundary(self):
+        server = small_server(gpu_memory=64 * MiB)
+        model = tiny_model(n_layers=10)
+
+        def build(microbatch):
+            return tiny_job(server=server, model=model,
+                            microbatch_size=microbatch,
+                            microbatches_per_minibatch=6)
+
+        result = max_microbatch(build, "none", low=1, high=32)
+        assert result.any_trainable
+        boundary = int(result.largest)
+        # Verify the boundary directly.
+        from repro.core.mpress import run_system
+
+        assert run_system(build(boundary), "none").ok
+        if boundary < 32:
+            assert not run_system(build(boundary + 1), "none").ok
+
+    def test_reports_untrainable_low(self):
+        server = small_server(gpu_memory=4 * MiB)
+        model = tiny_model(n_layers=10)
+
+        def build(microbatch):
+            return tiny_job(server=server, model=model, microbatch_size=microbatch)
+
+        result = max_microbatch(build, "none", low=1, high=4)
+        assert not result.any_trainable
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_microbatch(lambda mb: None, "none", low=4, high=2)

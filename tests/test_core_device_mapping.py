@@ -1,0 +1,113 @@
+"""Device-mapping search tests (Figure 6)."""
+
+import pytest
+
+from repro.core.device_mapping import MappingResult, assign_spare_memory, search_device_mapping
+from repro.errors import MappingError
+from repro.hardware.topology import dgx1_topology, dgx2_topology
+from repro.units import GiB
+
+from tests.conftest import small_topology
+
+
+def _gib(values):
+    return [int(v * GiB) for v in values]
+
+
+class TestAssignSpareMemory:
+    def test_full_placement_when_spare_suffices(self):
+        topo = small_topology()
+        overflow = _gib([2, 0, 0, 0])
+        spare = _gib([0, 4, 4, 4])
+        evaluation = assign_spare_memory(topo, (0, 1, 2, 3), overflow, spare)
+        assert evaluation.placed_fraction == pytest.approx(1.0)
+        assert sum(evaluation.assignments[0].values()) == overflow[0]
+
+    def test_respects_spare_budgets(self):
+        topo = small_topology()
+        overflow = _gib([10, 0, 0, 0])
+        spare = _gib([0, 1, 1, 1])
+        evaluation = assign_spare_memory(topo, (0, 1, 2, 3), overflow, spare)
+        for alloc in evaluation.assignments.values():
+            for imp, amount in alloc.items():
+                assert amount <= spare[imp]
+
+    def test_unreachable_spare_unused(self):
+        topo = dgx1_topology()
+        overflow = [int(1 * GiB)] + [0] * 7
+        spare = [0] * 7 + [int(10 * GiB)]  # stage 7 on device 7: no link to 0
+        evaluation = assign_spare_memory(topo, tuple(range(8)), overflow, spare)
+        assert evaluation.placed_fraction == 0.0
+
+    def test_high_pressure_exporters_served_first(self):
+        topo = small_topology()
+        overflow = _gib([4, 1, 0, 0])
+        spare = _gib([0, 0, 2, 2])
+        evaluation = assign_spare_memory(topo, (0, 1, 2, 3), overflow, spare)
+        placed_0 = sum(evaluation.assignments.get(0, {}).values())
+        placed_1 = sum(evaluation.assignments.get(1, {}).values())
+        assert placed_0 >= placed_1
+
+
+class TestSearch:
+    def test_finds_full_placement_that_identity_misses(self):
+        topo = dgx1_topology()
+        # Heavy stage 0 needs spare that only stages 6/7 have; a good
+        # mapping routes it over NVLink neighbours.
+        overflow = _gib([29, 17, 7, 0, 0, 0, 0, 0])
+        spare = _gib([0, 0, 0, 0.7, 6, 8, 15, 25])
+        result = search_device_mapping(topo, overflow, spare, mode="exact")
+        assert result.placed_fraction == pytest.approx(1.0)
+        assert result.mappings_evaluated == 40320
+
+    def test_symmetric_topology_short_circuits(self):
+        topo = dgx2_topology()
+        overflow = _gib([10] + [0] * 7)
+        spare = _gib([0] * 4 + [5] * 4)
+        result = search_device_mapping(topo, overflow, spare)
+        assert result.device_map == list(range(8))
+        assert result.mappings_evaluated == 1
+        assert result.placed_fraction == pytest.approx(1.0)
+
+    def test_no_overflow_returns_identity(self):
+        topo = dgx1_topology()
+        result = search_device_mapping(topo, [0] * 8, _gib([1] * 8))
+        assert result.device_map == list(range(8))
+
+    def test_greedy_mode_anchors_stage_zero(self):
+        topo = dgx1_topology()
+        overflow = _gib([5, 0, 0, 0, 0, 0, 0, 0])
+        spare = _gib([0, 0, 0, 0, 2, 2, 2, 2])
+        result = search_device_mapping(topo, overflow, spare, mode="greedy")
+        assert result.device_map[0] == 0
+        assert result.mappings_evaluated == 5040
+
+    def test_max_mappings_caps_search(self):
+        topo = dgx1_topology()
+        overflow = _gib([5] + [0] * 7)
+        spare = _gib([0, 0, 0, 0, 2, 2, 2, 2])
+        result = search_device_mapping(topo, overflow, spare, mode="exact", max_mappings=100)
+        assert result.mappings_evaluated == 100
+
+    def test_importer_budget_helper(self):
+        result = MappingResult(
+            device_map=[0, 1],
+            score=1.0,
+            placed_fraction=1.0,
+            assignments={0: {1: 100}, 2: {1: 50}},
+        )
+        assert result.importer_budget(1) == 150
+
+    def test_input_validation(self):
+        topo = small_topology()
+        with pytest.raises(MappingError):
+            search_device_mapping(topo, [0] * 3, [0] * 4)
+        with pytest.raises(MappingError):
+            search_device_mapping(topo, [0] * 4, [0] * 4, mode="random")
+
+    def test_mapping_is_permutation(self):
+        topo = small_topology()
+        overflow = _gib([3, 0, 0, 0])
+        spare = _gib([0, 1, 1, 2])
+        result = search_device_mapping(topo, overflow, spare, mode="exact")
+        assert sorted(result.device_map) == [0, 1, 2, 3]

@@ -1,0 +1,62 @@
+"""Emulator feedback tests (Fig. 5 step 5)."""
+
+import pytest
+
+from repro.core.emulator import Emulator
+from repro.core.plan import Action, PlanEntry, empty_plan
+from repro.graph.tensor import TensorKind, tensor_classes_for
+from repro.units import MiB
+
+from tests.conftest import small_server, tiny_job, tiny_model
+
+
+def _pressured_job():
+    return tiny_job(
+        server=small_server(gpu_memory=48 * MiB),
+        model=tiny_model(n_layers=10),
+        microbatch_size=8,
+        microbatches_per_minibatch=6,
+    )
+
+
+def test_reports_overflow_for_empty_plan():
+    job = _pressured_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    assert not report.fits
+    assert 0 in report.overflowed_devices
+    assert report.minibatch_time > 0
+
+
+def test_reports_fit_when_capacity_suffices():
+    job = tiny_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    assert report.fits
+    assert report.overflowed_devices == []
+
+
+def test_saved_by_action_propagates():
+    job = _pressured_job()
+    plan = empty_plan(job.n_stages)
+    classes = tensor_classes_for(
+        job.stage_plan, job.schedule, job.microbatch_size, job.bytes_per_element
+    )
+    cls = next(c for c in classes if c.kind is TensorKind.ACTIVATION and c.stage == 0)
+    plan.assign(PlanEntry(cls=cls, action=Action.RECOMPUTE))
+    report = Emulator(job).run(plan)
+    assert report.saved_by_action[Action.RECOMPUTE] == cls.peak_bytes
+
+
+def test_slowdown_vs_baseline():
+    job = _pressured_job()
+    emulator = Emulator(job)
+    base = emulator.run(empty_plan(job.n_stages))
+    assert base.slowdown_vs(base.minibatch_time) == pytest.approx(0.0)
+    assert base.slowdown_vs(base.minibatch_time / 2) == pytest.approx(1.0)
+    assert base.slowdown_vs(0.0) == 0.0
+
+
+def test_device_peaks_cover_all_gpus():
+    job = _pressured_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    assert len(report.device_peaks) == job.server.n_gpus
+    assert all(peak > 0 for peak in report.device_peaks)

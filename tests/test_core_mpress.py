@@ -1,0 +1,80 @@
+"""MPress facade and run_system dispatch tests."""
+
+import pytest
+
+from repro.core.mpress import MPress, run_system
+from repro.core.planner import PlannerConfig
+from repro.sim.executor import simulate
+from repro.units import MiB
+
+from tests.conftest import small_server, tiny_job, tiny_model
+
+
+def _pressured_job():
+    return tiny_job(
+        server=small_server(gpu_memory=48 * MiB),
+        model=tiny_model(n_layers=10),
+        microbatch_size=8,
+        microbatches_per_minibatch=6,
+    )
+
+
+class TestMPress:
+    def test_plan_is_cached(self):
+        mpress = MPress(_pressured_job())
+        assert mpress.build_plan() is mpress.build_plan()
+
+    def test_run_returns_successful_result(self):
+        result = MPress(_pressured_job()).run()
+        assert result.ok
+        assert result.tflops > 0
+        assert result.samples_per_second > 0
+
+    def test_planner_report_available_before_run(self):
+        mpress = MPress(_pressured_job())
+        assert mpress.planner_report is not None
+
+    def test_custom_config_respected(self):
+        config = PlannerConfig(allow_d2d=False, mapping_mode="identity")
+        result = MPress(_pressured_job(), config).run()
+        assert result.plan.device_map == list(range(4))
+
+
+class TestRunSystem:
+    def test_none_system_is_uncompacted(self):
+        job = tiny_job()  # fits without compaction
+        result = run_system(job, "none")
+        assert result.ok
+        assert not result.plan.entries
+
+    def test_none_system_ooms_under_pressure(self):
+        result = run_system(_pressured_job(), "none")
+        assert not result.ok
+
+    @pytest.mark.parametrize("system", ["recomputation", "gpu-cpu-swap", "mpress"])
+    def test_memory_saving_systems_survive_pressure(self, system):
+        result = run_system(_pressured_job(), system)
+        assert result.ok, system
+
+    def test_mpress_at_least_matches_swap_baseline(self):
+        job = _pressured_job()
+        swap = run_system(job, "gpu-cpu-swap")
+        mpress = run_system(job, "mpress")
+        assert mpress.tflops >= swap.tflops
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_system(_pressured_job(), "megatron")
+
+
+class TestRunSystemReports:
+    def test_none_feasibility_flag_matches_fit(self):
+        fits = run_system(tiny_job(), "none")
+        assert fits.planner_report.feasible
+        pressured = run_system(_pressured_job(), "none")
+        assert not pressured.planner_report.feasible
+
+    def test_result_exposes_simulation(self):
+        result = run_system(tiny_job(), "none")
+        assert result.simulation.makespan > 0
+        assert len(result.simulation.peak_memory_per_gpu) == 4

@@ -1,0 +1,142 @@
+"""Planner internals: congestion model, demand vectors, budgets."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.plan import Action
+from repro.core.planner import Planner, PlannerConfig
+from repro.core.profiler import Profiler
+from repro.graph.tensor import TensorKind
+
+from tests.conftest import small_server, tiny_job, tiny_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    job = tiny_job(
+        server=small_server(),
+        model=tiny_model(n_layers=10),
+        microbatch_size=8,
+        microbatches_per_minibatch=6,
+    )
+    planner = Planner(job, PlannerConfig())
+    profile = Profiler(job).run()
+    planner._device_map = list(range(job.n_stages))
+    planner._classes_by_key = {c.key: c for c in profile.classes}
+    planner._intervals = profile.intervals
+    cost_model = CostModel(job, planner._device_map, profile.intervals)
+    return job, planner, profile, cost_model
+
+
+def _act(profile, stage=0):
+    acts = [
+        c for c in profile.classes_of_stage(stage)
+        if c.kind is TensorKind.ACTIVATION
+    ]
+    return max(acts, key=lambda c: c.size)
+
+
+class TestCongestionModel:
+    def test_swap_seconds_is_pcie_round_trip(self, setup):
+        job, planner, profile, _ = setup
+        cls = _act(profile)
+        expected = 2.0 * cls.size / job.server.pcie.sustained_bandwidth
+        assert planner._swap_seconds(cls) == pytest.approx(expected)
+
+    def test_optimizer_swap_amortized_over_minibatch(self, setup):
+        job, planner, profile, _ = setup
+        opt = next(
+            c for c in profile.classes
+            if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0
+        )
+        per_mb = planner._swap_seconds(opt)
+        raw = 2.0 * opt.size / job.server.pcie.sustained_bandwidth
+        assert per_mb == pytest.approx(raw / job.microbatches_per_minibatch)
+
+    def test_load_accumulates_with_assignments(self, setup):
+        _, planner, profile, _ = setup
+        cls = _act(profile)
+        empty_load = planner._stage_pcie_load(0, {})
+        loaded = planner._stage_pcie_load(0, {cls.key: (Action.CPU_SWAP, None)})
+        assert empty_load == 0.0
+        assert loaded == pytest.approx(planner._swap_seconds(cls))
+
+    def test_congestion_surfaces_beyond_budget(self, setup):
+        _, planner, profile, _ = setup
+        cls = _act(profile)
+        # With a saturated stage the extra approaches the swap time.
+        acts = [
+            c for c in profile.classes_of_stage(0)
+            if c.kind is TensorKind.ACTIVATION
+        ]
+        assignments = {c.key: (Action.CPU_SWAP, None) for c in acts}
+        extra = planner._congested_cpu_extra(cls, 0.0, assignments)
+        assert extra > 0.0
+        assert extra <= planner._swap_seconds(cls) + 1e-12
+
+
+class TestDemandAndBudgets:
+    def test_demand_zero_without_overflow(self, setup):
+        _, planner, profile, _ = setup
+        assert planner._d2d_demand_for(0, 0, profile) == 0
+
+    def test_demand_covers_parked_instances(self, setup):
+        _, planner, profile, _ = setup
+        cls = _act(profile)
+        overflow = cls.size  # less than one class's saving
+        demand = planner._d2d_demand_for(0, overflow, profile)
+        # One whole class parks size*instances (+slack).
+        assert demand >= cls.size * cls.instances
+
+    def test_demand_scales_with_overflow(self, setup):
+        _, planner, profile, _ = setup
+        small = planner._d2d_demand_for(0, 10 * 2**20, profile)
+        large = planner._d2d_demand_for(0, 200 * 2**20, profile)
+        assert large >= small
+
+    def test_global_headroom_respects_import_cap(self, setup):
+        job, planner, _, _ = setup
+        capacity = job.server.gpu_memory
+        budgets = planner._global_headroom([0, capacity, capacity * 2, 0])
+        assert budgets[1] == 0
+        assert budgets[2] == 0
+        assert budgets[0] > 0
+        assert budgets[0] < capacity
+
+    def test_state_bytes_counts_state_kinds(self, setup):
+        _, planner, profile, _ = setup
+        classes = profile.classes_of_stage(0)
+        expected = sum(
+            c.peak_bytes for c in classes
+            if c.kind in (TensorKind.WORKING_STATE, TensorKind.OPTIMIZER_STATE,
+                          TensorKind.STASHED_PARAMS)
+        )
+        assert planner._state_bytes(classes) == expected
+
+
+class TestClaims:
+    def test_claim_deducts_budget(self, setup):
+        _, planner, profile, cost_model = setup
+        cls = _act(profile)
+        budgets = {dev: cls.size * cls.instances * 2 for dev in (1, 2, 3)}
+        before = dict(budgets)
+        stripe = planner._claim_d2d(cls, cost_model, budgets)
+        assert stripe is not None
+        spent = sum(before[d] - budgets[d] for d in budgets)
+        assert spent == stripe.tensor_bytes * cls.instances
+
+    def test_partial_claim_when_budget_tight(self, setup):
+        _, planner, profile, cost_model = setup
+        cls = _act(profile)
+        # Budget holds only ~half the parked bytes.
+        budgets = {dev: cls.size * cls.instances // 4 for dev in (1, 2, 3)}
+        stripe = planner._claim_d2d(cls, cost_model, budgets)
+        assert stripe is not None
+        assert stripe.tensor_bytes < cls.size
+
+    def test_claim_fails_without_budget(self, setup):
+        _, planner, profile, cost_model = setup
+        cls = _act(profile)
+        assert planner._claim_d2d(cls, cost_model, {}) is None
+        tiny = {dev: 1024 for dev in (1, 2, 3)}
+        assert planner._claim_d2d(cls, cost_model, tiny) is None

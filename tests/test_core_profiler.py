@@ -1,0 +1,87 @@
+"""Profiler and liveness tests (Fig. 5 steps 1-2)."""
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.graph.tensor import TensorKind
+
+from tests.conftest import tiny_job
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return Profiler(tiny_job(microbatches_per_minibatch=6)).run()
+
+
+class TestProfileStats:
+    def test_stage_peaks_decrease(self, profile):
+        # Figure 2's imbalance.
+        peaks = profile.stage_peaks
+        assert peaks[0] > peaks[-1]
+
+    def test_overflow_and_spare_partition_capacity(self, profile):
+        capacity = max(profile.stage_peaks) - 1
+        for stage in range(len(profile.stage_peaks)):
+            overflow = profile.overflow(capacity)[stage]
+            spare = profile.spare(capacity)[stage]
+            assert overflow == 0 or spare == 0
+            assert overflow >= 0 and spare >= 0
+
+    def test_total_demand_is_sum_of_peaks(self, profile):
+        assert profile.total_demand() == sum(profile.stage_peaks)
+
+    def test_memory_breakdown_covers_all_kinds(self, profile):
+        breakdown = profile.memory_breakdown()
+        assert set(breakdown) == {"activation", "optimizer", "params+grads"}
+        assert all(v > 0 for v in breakdown.values())
+
+    def test_breakdown_percent_sums_to_100(self, profile):
+        percent = profile.memory_breakdown_percent()
+        assert sum(percent.values()) == pytest.approx(100.0)
+
+    def test_classes_of_stage_filter(self, profile):
+        for cls in profile.classes_of_stage(2):
+            assert cls.stage == 2
+
+    def test_baseline_time_positive(self, profile):
+        assert profile.baseline_minibatch_time > 0
+
+
+class TestLiveIntervals:
+    def test_every_activation_has_an_interval(self, profile):
+        for cls in profile.classes:
+            if cls.kind is TensorKind.ACTIVATION:
+                assert cls.key in profile.intervals
+
+    def test_early_stage_intervals_longer(self, profile):
+        # Stage 0 activations wait the longest for their backward
+        # pass — the property that makes them swappable (Sec. III-D).
+        def mean_interval(stage):
+            samples = [
+                iv.mean for key, iv in profile.intervals.items()
+                if key[0] == "activation" and key[1] == stage
+            ]
+            return sum(samples) / len(samples)
+
+        assert mean_interval(0) > mean_interval(3)
+
+    def test_optimizer_interval_is_minibatch_period(self, profile):
+        opt_keys = [
+            key for key in profile.intervals if key[0] == "optimizer"
+        ]
+        assert opt_keys
+        for key in opt_keys:
+            interval = profile.intervals[key]
+            assert interval.mean == pytest.approx(
+                profile.baseline_minibatch_time, rel=0.5
+            )
+
+    def test_intervals_are_nonnegative(self, profile):
+        for interval in profile.intervals.values():
+            assert interval.minimum >= 0
+            assert interval.mean >= interval.minimum
+
+    def test_working_state_has_no_interval(self, profile):
+        for cls in profile.classes:
+            if cls.kind is TensorKind.WORKING_STATE:
+                assert cls.key not in profile.intervals

@@ -1,0 +1,100 @@
+"""Plan serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.core.plan import Action, MemorySavingPlan, PlanEntry, empty_plan
+from repro.core.serialization import (
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+from repro.core.striping import build_stripe_plan
+from repro.errors import PlanError
+from repro.graph.tensor import TensorClass, TensorKind
+from repro.units import MB
+
+from tests.conftest import small_topology
+
+
+def _rich_plan() -> MemorySavingPlan:
+    plan = MemorySavingPlan(device_map=[2, 0, 3, 1])
+    act = TensorClass(TensorKind.ACTIVATION, 0, 3, 90 * MB, 4, True)
+    stripe = build_stripe_plan(
+        small_topology(), 2, {0: 90 * MB, 3: 90 * MB}, 90 * MB
+    )
+    plan.assign(PlanEntry(cls=act, action=Action.D2D_SWAP, stripe=stripe))
+    opt = TensorClass(TensorKind.OPTIMIZER_STATE, 1, -1, 50 * MB, 1, False)
+    plan.assign(PlanEntry(cls=opt, action=Action.CPU_SWAP, tier="nvme"))
+    rec = TensorClass(TensorKind.ACTIVATION, 2, 8, 10 * MB, 2, True)
+    plan.assign(PlanEntry(cls=rec, action=Action.RECOMPUTE))
+    return plan
+
+
+def test_roundtrip_preserves_everything():
+    original = _rich_plan()
+    restored = plan_from_dict(plan_to_dict(original))
+    assert restored.device_map == original.device_map
+    assert set(restored.entries) == set(original.entries)
+    for key, entry in original.entries.items():
+        copy = restored.entries[key]
+        assert copy.action == entry.action
+        assert copy.tier == entry.tier
+        assert copy.cls == entry.cls
+        if entry.stripe is None:
+            assert copy.stripe is None
+        else:
+            assert copy.stripe.blocks == entry.stripe.blocks
+            assert copy.stripe.exporter == entry.stripe.exporter
+
+
+def test_dict_is_json_serializable():
+    payload = plan_to_dict(_rich_plan())
+    text = json.dumps(payload)
+    assert "d2d-swap" in text and "nvme" in text
+
+
+def test_save_and_load_file(tmp_path):
+    path = str(tmp_path / "plan.json")
+    original = _rich_plan()
+    save_plan(original, path)
+    restored = load_plan(path)
+    assert restored.device_map == original.device_map
+    assert len(restored.entries) == len(original.entries)
+
+
+def test_empty_plan_roundtrip():
+    plan = empty_plan(8)
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert restored.device_map == list(range(8))
+    assert not restored.entries
+
+
+def test_version_mismatch_rejected():
+    payload = plan_to_dict(empty_plan(2))
+    payload["version"] = 99
+    with pytest.raises(PlanError):
+        plan_from_dict(payload)
+
+
+def test_restored_plan_validates_and_executes():
+    """A deserialized plan drives the executor like the original."""
+    from repro.core.planner import Planner, PlannerConfig
+    from repro.sim.executor import simulate
+    from repro.units import MiB
+    from tests.conftest import small_server, tiny_job, tiny_model
+
+    job = tiny_job(
+        server=small_server(gpu_memory=48 * MiB),
+        model=tiny_model(n_layers=10),
+        microbatch_size=8,
+        microbatches_per_minibatch=6,
+    )
+    plan, _ = Planner(job, PlannerConfig()).build()
+    restored = plan_from_dict(plan_to_dict(plan))
+    original_run = simulate(job, plan, strict=True)
+    restored_run = simulate(job, restored, strict=True)
+    assert restored_run.ok == original_run.ok
+    assert restored_run.minibatch_time == pytest.approx(original_run.minibatch_time)

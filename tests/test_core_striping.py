@@ -1,0 +1,123 @@
+"""Data striping tests (Section III-C)."""
+
+import pytest
+
+from repro.core.striping import StripeBlock, StripePlan, build_stripe_plan, distribute_weighted
+from repro.errors import PlanError
+from repro.hardware.topology import dgx1_topology, dgx2_topology
+from repro.units import MB
+
+
+class TestDistributeWeighted:
+    def test_proportional_to_lanes(self):
+        shares = distribute_weighted(300, {1: 1, 3: 2})
+        assert shares == {1: 100, 3: 200}
+
+    def test_total_is_exact_despite_rounding(self):
+        shares = distribute_weighted(1000, {0: 1, 1: 1, 2: 1})
+        assert sum(shares.values()) == 1000
+
+    def test_zero_lane_importers_excluded(self):
+        shares = distribute_weighted(100, {0: 0, 1: 2})
+        assert shares == {1: 100}
+
+    def test_rejects_no_importers(self):
+        with pytest.raises(PlanError):
+            distribute_weighted(100, {0: 0})
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(PlanError):
+            distribute_weighted(0, {1: 1})
+
+
+class TestBuildStripePlan:
+    def test_weighted_blocks_on_asymmetric_topology(self):
+        # GPU0 -> GPU3 has two bricks, GPU0 -> GPU1 one: GPU3's share
+        # should be roughly twice GPU1's (the paper's weighted
+        # striping for DGX-1).
+        topo = dgx1_topology()
+        size = 300 * MB
+        plan = build_stripe_plan(topo, 0, {1: size, 3: size}, size)
+        assert plan.bytes_to(3) == pytest.approx(2 * plan.bytes_to(1), rel=0.01)
+
+    def test_blocks_sum_to_tensor(self):
+        topo = dgx1_topology()
+        size = 123_456_789
+        plan = build_stripe_plan(topo, 0, {1: size, 2: size, 3: size}, size)
+        assert sum(b.size for b in plan.blocks) == size
+
+    def test_budgets_respected(self):
+        topo = dgx1_topology()
+        size = 300 * MB
+        plan = build_stripe_plan(topo, 0, {1: size, 3: 50 * MB}, size)
+        assert plan.bytes_to(3) <= 50 * MB
+        assert plan.bytes_to(1) == size - plan.bytes_to(3)
+
+    def test_unreachable_importers_skipped(self):
+        topo = dgx1_topology()
+        # GPU5 is not an NVLink neighbor of GPU0.
+        plan = build_stripe_plan(topo, 0, {5: 10 * MB, 3: 100 * MB}, 10 * MB)
+        assert plan.importers == [3]
+
+    def test_insufficient_budget_rejected(self):
+        topo = dgx1_topology()
+        with pytest.raises(PlanError):
+            build_stripe_plan(topo, 0, {3: 10 * MB}, 100 * MB)
+
+    def test_no_striping_single_importer_single_lane(self):
+        topo = dgx1_topology()
+        size = 50 * MB
+        plan = build_stripe_plan(topo, 0, {1: size, 3: 2 * size}, size, striping=False)
+        assert len(plan.blocks) == 1
+        assert plan.blocks[0].importer == 3  # the importer with most budget
+
+    def test_per_lane_split_within_pair(self):
+        topo = dgx1_topology()
+        size = 100 * MB
+        plan = build_stripe_plan(topo, 0, {3: size}, size)
+        # Two lanes to GPU3: two blocks of ~equal size.
+        assert len(plan.blocks) == 2
+        sizes = sorted(b.size for b in plan.blocks)
+        assert sizes[1] - sizes[0] <= 1
+
+    def test_switched_topology_uses_egress_lanes(self):
+        topo = dgx2_topology(4)
+        size = 60 * MB
+        plan = build_stripe_plan(topo, 0, {1: size, 2: size, 3: size}, size)
+        lanes = {b.lane for b in plan.blocks}
+        assert all(lane[0] == "egress" and lane[1] == 0 for lane in lanes)
+
+
+class TestStripePlanCosts:
+    def test_round_trip_is_twice_one_way(self):
+        topo = dgx1_topology()
+        plan = build_stripe_plan(topo, 0, {3: 100 * MB}, 100 * MB)
+        assert plan.round_trip_time(topo) == pytest.approx(2 * plan.one_way_time(topo))
+
+    def test_striping_speeds_up_transfer(self):
+        topo = dgx1_topology()
+        size = 300 * MB
+        narrow = build_stripe_plan(topo, 0, {1: size, 3: size}, size, striping=False)
+        wide = build_stripe_plan(topo, 0, {1: size, 2: size, 3: size, 4: size}, size)
+        assert wide.one_way_time(topo) < narrow.one_way_time(topo)
+
+    def test_shared_lane_serialization_counted(self):
+        # On switched topologies several blocks share egress lanes;
+        # time must reflect per-lane sums, not per-block maxima.
+        topo = dgx2_topology(4)
+        size = 120 * MB
+        plan = build_stripe_plan(topo, 0, {1: size, 2: size, 3: size}, size)
+        floor = size / (topo.lane_budget * topo.nvlink.sustained_bandwidth)
+        assert plan.one_way_time(topo) >= floor
+
+    def test_metadata_invariants(self):
+        with pytest.raises(PlanError):
+            StripePlan(exporter=0, tensor_bytes=10, blocks=())
+        block = StripeBlock(importer=1, size=5, lane=("lane", 0, 1, 0),
+                            return_lane=("lane", 1, 0, 0))
+        with pytest.raises(PlanError):
+            StripePlan(exporter=0, tensor_bytes=10, blocks=(block,))
+
+    def test_zero_size_block_rejected(self):
+        with pytest.raises(PlanError):
+            StripeBlock(importer=1, size=0, lane=("l",), return_lane=("r",))

@@ -1,0 +1,55 @@
+"""Examples stay runnable (deliverable smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "OUT OF MEMORY" in out       # plain PipeDream dies
+    assert "MPress: ok" in out
+    assert "TFLOPS" in out
+
+
+def test_memory_timeline():
+    out = _run("memory_timeline.py")
+    assert "pipedream" in out and "dapple" in out
+    assert "worker 1 memory" in out
+
+
+def test_custom_hardware():
+    out = _run("custom_hardware.py")
+    assert "workstation-4gpu" in out
+    assert "OOM" in out                 # plain runs die at 0.64B
+    assert "mpress=" in out
+
+
+@pytest.mark.slow
+def test_gpt_billion_scale():
+    out = _run("gpt_billion_scale_dapple.py", timeout=900)
+    assert "per-stage memory demand" in out
+    assert "MPress: ok" in out
+    assert "ZeRO-Offload" in out
+
+
+def test_plan_and_inspect():
+    out = _run("plan_and_inspect.py")
+    assert "plan built" in out
+    assert "audit: clean" in out
+    assert "chrome trace" in out

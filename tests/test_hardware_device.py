@@ -1,0 +1,51 @@
+"""GPU/host/NVMe specification tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.device import A100, FAST_NVME, GPUSpec, HostSpec, NVMeSpec, SLOW_NVME, V100
+from repro.units import GiB, TFLOP
+
+
+def test_v100_matches_paper_hardware():
+    assert V100.memory_bytes == 32 * GiB
+    assert V100.peak_fp32 == pytest.approx(15.7 * TFLOP)
+    assert V100.peak_fp16 == pytest.approx(125 * TFLOP)
+
+
+def test_a100_matches_paper_hardware():
+    assert A100.memory_bytes == 40 * GiB
+    assert A100.peak_fp16 > 2 * V100.peak_fp16
+
+
+def test_peak_flops_lookup():
+    assert V100.peak_flops("fp32") == V100.peak_fp32
+    assert V100.peak_flops("fp16") == V100.peak_fp16
+    with pytest.raises(ConfigurationError):
+        V100.peak_flops("int8")
+
+
+def test_gpu_validation_rejects_nonpositive_memory():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", memory_bytes=0, peak_fp32=1.0, peak_fp16=1.0)
+
+
+def test_gpu_validation_rejects_nonpositive_flops():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", memory_bytes=1, peak_fp32=0.0, peak_fp16=1.0)
+
+
+def test_host_validation():
+    with pytest.raises(ConfigurationError):
+        HostSpec(memory_bytes=-1)
+
+
+def test_nvme_validation():
+    with pytest.raises(ConfigurationError):
+        NVMeSpec(capacity_bytes=1, read_bandwidth=0, write_bandwidth=1)
+
+
+def test_slow_nvme_is_slower_than_fast():
+    # The rented DGX-2's SSDs bottleneck ZeRO-Infinity (Fig. 8b).
+    assert SLOW_NVME.read_bandwidth < FAST_NVME.read_bandwidth
+    assert SLOW_NVME.write_bandwidth < FAST_NVME.write_bandwidth

@@ -1,0 +1,38 @@
+"""Server assembly tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.device import V100
+from repro.hardware.server import Server, dgx1_server, dgx2_server
+from repro.hardware.topology import dgx1_topology
+from repro.hardware.device import P3DN_HOST
+from repro.units import GiB
+
+
+def test_dgx1_server_shape():
+    server = dgx1_server()
+    assert server.n_gpus == 8
+    assert server.gpu_memory == 32 * GiB
+    assert server.total_gpu_memory == 256 * GiB
+    assert server.host.memory_bytes == 768 * GiB
+
+
+def test_dgx2_server_shape():
+    server = dgx2_server()
+    assert server.gpu_memory == 40 * GiB
+    assert server.topology.is_symmetric
+    # The rented DGX-2's NVMe is the slow one (Fig. 8b cause).
+    assert server.nvme.read_bandwidth < dgx1_server().nvme.read_bandwidth
+
+
+def test_gpu_accessor_bounds():
+    server = dgx1_server()
+    assert server.gpu(0) is V100
+    with pytest.raises(ConfigurationError):
+        server.gpu(8)
+
+
+def test_mismatched_gpu_count_rejected():
+    with pytest.raises(ConfigurationError):
+        Server(name="bad", gpus=[V100] * 4, topology=dgx1_topology(), host=P3DN_HOST)

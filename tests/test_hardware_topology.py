@@ -1,0 +1,110 @@
+"""Topology tests: DGX-1 hybrid cube-mesh and switched DGX-2."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.links import NVLINK2
+from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
+
+from tests.conftest import small_topology
+
+
+class TestDGX1Topology:
+    def test_every_gpu_uses_exactly_six_bricks(self, dgx1_topo):
+        for gpu in range(8):
+            assert dgx1_topo.bricks_at(gpu) == 6
+
+    def test_paper_example_pair_bandwidth(self, dgx1_topo):
+        # "GPU0 can transfer data to GPU3 at ... two NVLink
+        # interconnects, which have twice the bandwidth of GPU1."
+        assert dgx1_topo.lanes(0, 3) == 2
+        assert dgx1_topo.lanes(0, 1) == 1
+
+    def test_adjacency_is_symmetric(self, dgx1_topo):
+        for a in range(8):
+            for b in range(8):
+                assert dgx1_topo.lanes(a, b) == dgx1_topo.lanes(b, a)
+
+    def test_cross_quad_partners(self, dgx1_topo):
+        for a, b in ((0, 4), (1, 5), (2, 6), (3, 7)):
+            assert dgx1_topo.lanes(a, b) == 2
+
+    def test_some_pairs_are_unreachable(self, dgx1_topo):
+        # The hybrid cube-mesh is not a full crossbar.
+        assert dgx1_topo.lanes(0, 5) == 0
+        assert dgx1_topo.lanes(0, 6) == 0
+        assert dgx1_topo.lanes(0, 7) == 0
+
+    def test_neighbors(self, dgx1_topo):
+        assert dgx1_topo.neighbors(0) == [1, 2, 3, 4]
+
+    def test_is_not_symmetric(self, dgx1_topo):
+        assert not dgx1_topo.is_symmetric
+
+    def test_lane_channels_count_matches_lanes(self, dgx1_topo):
+        assert len(dgx1_topo.lane_channels(0, 3)) == 2
+        assert len(dgx1_topo.lane_channels(0, 1)) == 1
+
+    def test_lane_channels_raises_without_route(self, dgx1_topo):
+        with pytest.raises(TopologyError):
+            dgx1_topo.lane_channels(0, 5)
+
+    def test_all_lane_channels_cover_both_directions(self, dgx1_topo):
+        keys = dgx1_topo.all_lane_channels()
+        # 16 edges with 24 bricks total; one channel per brick per
+        # direction.
+        assert len(keys) == 48
+        assert ("lane", 0, 3, 0) in keys
+        assert ("lane", 3, 0, 0) in keys
+
+
+class TestSwitchedTopology:
+    def test_all_pairs_reachable(self):
+        topo = dgx2_topology()
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.lanes(a, b) == topo.lane_budget
+
+    def test_is_symmetric(self):
+        assert dgx2_topology().is_symmetric
+
+    def test_lane_channels_are_egress_lanes(self):
+        topo = dgx2_topology()
+        keys = topo.lane_channels(2, 5)
+        assert all(key[0] == "egress" and key[1] == 2 for key in keys)
+
+    def test_all_lane_channels(self):
+        topo = dgx2_topology(n_gpus=4)
+        assert len(topo.all_lane_channels()) == 4 * topo.lane_budget
+
+
+class TestValidation:
+    def test_rejects_single_gpu(self):
+        with pytest.raises(TopologyError):
+            Topology(n_gpus=1, kind="switched", nvlink=NVLINK2)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TopologyError):
+            Topology(n_gpus=2, kind="mesh", nvlink=NVLINK2)
+
+    def test_rejects_over_budget_gpu(self):
+        adjacency = {frozenset((0, 1)): 7}
+        with pytest.raises(TopologyError):
+            Topology(n_gpus=2, kind="direct", nvlink=NVLINK2, adjacency=adjacency)
+
+    def test_rejects_out_of_range_pair(self):
+        adjacency = {frozenset((0, 9)): 1}
+        with pytest.raises(TopologyError):
+            Topology(n_gpus=2, kind="direct", nvlink=NVLINK2, adjacency=adjacency)
+
+    def test_gpu_index_bounds_checked(self, dgx1_topo):
+        with pytest.raises(TopologyError):
+            dgx1_topo.lanes(0, 8)
+        with pytest.raises(TopologyError):
+            dgx1_topo.neighbors(-1)
+
+    def test_small_topology_fixture_is_valid(self):
+        topo = small_topology()
+        for gpu in range(4):
+            assert topo.bricks_at(gpu) == 4

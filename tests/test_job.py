@@ -1,0 +1,102 @@
+"""TrainingJob configuration and timing tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.job import TrainingJob, dapple_job, gpipe_job, pipedream_job
+
+from tests.conftest import small_server, tiny_model
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob(
+                model=tiny_model(), server=small_server(), system="megatron",
+                microbatch_size=1, microbatches_per_minibatch=1,
+                n_minibatches=1, precision="fp16", mfu=0.5,
+            )
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob(
+                model=tiny_model(), server=small_server(), system="dapple",
+                microbatch_size=1, microbatches_per_minibatch=1,
+                n_minibatches=1, precision="bf16", mfu=0.5,
+            )
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob(
+                model=tiny_model(), server=small_server(), system="dapple",
+                microbatch_size=0, microbatches_per_minibatch=1,
+                n_minibatches=1, precision="fp16", mfu=0.5,
+            )
+
+    def test_mfu_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TrainingJob(
+                model=tiny_model(), server=small_server(), system="dapple",
+                microbatch_size=1, microbatches_per_minibatch=1,
+                n_minibatches=1, precision="fp16", mfu=1.5,
+            )
+
+
+class TestDerived:
+    def test_bytes_per_element_follows_precision(self):
+        assert pipedream_job(tiny_model(), small_server()).bytes_per_element == 4
+        assert dapple_job(tiny_model(), small_server()).bytes_per_element == 2
+
+    def test_stage_plan_covers_model(self):
+        job = dapple_job(tiny_model(), small_server())
+        assert job.stage_plan.n_stages == job.server.n_gpus
+        assert sum(s.n_layers for s in job.stage_plan.stages) == job.model.n_layers
+
+    def test_schedule_mode_matches_system(self):
+        assert pipedream_job(tiny_model(), small_server()).schedule.mode == "async"
+        assert dapple_job(tiny_model(), small_server()).schedule.mode == "sync"
+        assert gpipe_job(tiny_model(), small_server()).schedule.mode == "sync"
+
+    def test_forward_time_scales_with_mfu(self):
+        fast = dapple_job(tiny_model(), small_server(), mfu=0.8)
+        slow = dapple_job(tiny_model(), small_server(), mfu=0.4)
+        assert slow.forward_time(0, 0) == pytest.approx(2 * fast.forward_time(0, 0))
+
+    def test_backward_is_double_forward(self):
+        job = dapple_job(tiny_model(), small_server())
+        assert job.backward_time(2, 0) == pytest.approx(2 * job.forward_time(2, 0))
+
+    def test_optimizer_time_scales_with_params(self):
+        job = dapple_job(tiny_model(), small_server())
+        heavy = max(range(4), key=lambda s: job.stage_plan.stage(s).params)
+        light = min(range(4), key=lambda s: job.stage_plan.stage(s).params)
+        assert job.optimizer_time(heavy, 0) >= job.optimizer_time(light, 0)
+
+    def test_samples_and_flops(self):
+        job = dapple_job(tiny_model(), small_server(),
+                         microbatch_size=3, microbatches_per_minibatch=4)
+        assert job.samples_per_minibatch == 12
+        assert job.minibatch_flops() == pytest.approx(
+            job.model.iteration_flops(12)
+        )
+
+    def test_with_minibatches(self):
+        job = dapple_job(tiny_model(), small_server())
+        assert job.with_minibatches(7).n_minibatches == 7
+
+    def test_pipedream_defaults_to_minibatch_pipelining(self):
+        job = pipedream_job(tiny_model(), small_server())
+        assert job.microbatches_per_minibatch == 1
+        assert job.n_minibatches == 3 * small_server().n_gpus
+
+
+class TestPublicApi:
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        assert callable(repro.run_system)
+        assert callable(repro.simulate)
+        assert callable(repro.run_zero)
+        assert repro.MPress is not None
+        with pytest.raises(AttributeError):
+            repro.not_a_thing

@@ -1,0 +1,93 @@
+"""JSON job spec tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jobspec import job_from_spec, job_to_spec, load_job
+
+
+class TestJobFromSpec:
+    def test_minimal_spec(self):
+        job = job_from_spec({"model": "bert-0.35", "server": "dgx1"})
+        assert job.model.config.name == "Bert-0.35B"
+        assert job.system == "pipedream"  # defaulted from the family
+
+    def test_gpt_defaults_to_dapple(self):
+        job = job_from_spec({"model": "gpt-5.3", "server": "dgx1"})
+        assert job.system == "dapple"
+
+    def test_full_spec(self):
+        job = job_from_spec({
+            "model": "gpt-5.3",
+            "server": "dgx2",
+            "pipeline": "gpipe",
+            "microbatch_size": 4,
+            "microbatches_per_minibatch": 8,
+            "n_minibatches": 3,
+            "mfu": 0.4,
+        })
+        assert job.system == "gpipe"
+        assert job.microbatch_size == 4
+        assert job.microbatches_per_minibatch == 8
+        assert job.n_minibatches == 3
+        assert job.mfu == 0.4
+
+    def test_missing_required_key(self):
+        with pytest.raises(ConfigurationError, match="model"):
+            job_from_spec({"server": "dgx1"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            job_from_spec({"model": "bert-0.35", "server": "dgx1", "gpu": 8})
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            job_from_spec({"model": "bert-0.35", "server": "dgx1",
+                           "pipeline": "megatron"})
+
+
+class TestFileLoading:
+    def test_load_job(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps({"model": "bert-0.35", "server": "dgx1"}))
+        job = load_job(str(path))
+        assert job.model.config.name == "Bert-0.35B"
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load_job(str(path))
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="object"):
+            load_job(str(path))
+
+
+class TestRoundTrip:
+    def test_spec_to_job_to_spec(self):
+        spec = {
+            "model": "gpt-5.3",
+            "server": "dgx1",
+            "pipeline": "dapple",
+            "microbatch_size": 2,
+            "microbatches_per_minibatch": 16,
+            "n_minibatches": 2,
+        }
+        job = job_from_spec(spec)
+        back = job_to_spec(job, "gpt-5.3", "dgx1")
+        rebuilt = job_from_spec(back)
+        assert rebuilt.schedule.mode == job.schedule.mode
+        assert rebuilt.samples_per_minibatch == job.samples_per_minibatch
+
+    def test_cli_spec_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps({"model": "bert-0.35", "server": "dgx1"}))
+        assert main(["profile", "--spec", str(path)]) == 0
+        assert "Bert-0.35B" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Analytic cost formula tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import costs
+
+
+def test_layer_params_formula():
+    hidden = 1024
+    assert costs.layer_params(hidden) == 12 * hidden * hidden + 13 * hidden
+
+
+def test_embedding_params_formula():
+    assert costs.embedding_params(1000, 128, 64) == (1000 + 128) * 64
+
+
+def test_forward_flops_dominated_by_matmuls():
+    # Doubling hidden roughly quadruples the per-layer FLOPs.
+    base = costs.layer_forward_flops(1024, 512, 1)
+    double = costs.layer_forward_flops(2048, 512, 1)
+    assert 3.5 < double / base < 4.1
+
+
+def test_backward_is_twice_forward():
+    fwd = costs.layer_forward_flops(512, 128, 4)
+    assert costs.layer_backward_flops(512, 128, 4) == pytest.approx(2 * fwd)
+
+
+def test_flops_linear_in_microbatch():
+    one = costs.layer_forward_flops(512, 128, 1)
+    eight = costs.layer_forward_flops(512, 128, 8)
+    assert eight == pytest.approx(8 * one)
+
+
+def test_activation_bytes_profiles_differ():
+    # fp32 eager stores more elements than optimized fp16 — more than
+    # the 2x element width alone (Section IV calibration).
+    fp16 = costs.layer_activation_bytes(512, 128, 2, heads=8, bytes_per_element=2)
+    fp32 = costs.layer_activation_bytes(512, 128, 2, heads=8, bytes_per_element=4)
+    assert fp32 > 2 * fp16
+
+
+def test_activation_bytes_rejects_other_widths():
+    with pytest.raises(ConfigurationError):
+        costs.layer_activation_bytes(512, 128, 2, heads=8, bytes_per_element=8)
+
+
+def test_boundary_bytes_small_relative_to_activations():
+    # Inter-stage traffic is tiny — the reason inter-operator
+    # parallelism has the least communication (Section II-A).
+    boundary = costs.layer_boundary_bytes(1024, 384, 12, 2)
+    saved = costs.layer_activation_bytes(1024, 384, 12, heads=16, bytes_per_element=2)
+    assert boundary < saved / 10
+
+
+def test_state_bytes_per_param_totals_sixteen():
+    for width in (2, 4):
+        param, grad, optim = costs.state_bytes_per_param(width)
+        assert param + grad + optim == 16
+
+
+def test_state_split_fp16_matches_table1_ratio():
+    # Optimizer : params+grads = 3 : 1 (paper Table I, 46% vs 15%).
+    param, grad, optim = costs.state_bytes_per_param(2)
+    assert optim == 3 * (param + grad)
+
+
+def test_model_state_bytes():
+    assert costs.model_state_bytes(10) == 160
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        costs.layer_params(0)
+    with pytest.raises(ConfigurationError):
+        costs.layer_forward_flops(10, 0, 1)
+    with pytest.raises(ConfigurationError):
+        costs.model_state_bytes(-1)

@@ -1,0 +1,105 @@
+"""Model variant tests: configs, solver, layer lists."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.bert import BERT_VARIANTS, bert_variant
+from repro.models.config import TransformerConfig, solve_hidden
+from repro.models.gpt import GPT_VARIANTS, gpt_variant
+from repro.models.layers import LayerKind, ModelSpec, build_model
+
+from tests.conftest import tiny_model
+
+
+class TestSolver:
+    def test_hits_target_within_tolerance(self):
+        for target in (0.5e9, 2e9, 10e9):
+            hidden = solve_hidden(target, n_layers=32, vocab=30_000, max_positions=512)
+            config = TransformerConfig(
+                name="t", n_layers=32, hidden=hidden, heads=hidden // 64,
+                vocab=30_000, seq_len=128, max_positions=512,
+            )
+            assert abs(config.total_params - target) / target < 0.08
+
+    def test_hidden_is_multiple_of_head_dim(self):
+        hidden = solve_hidden(1e9, n_layers=24, vocab=30_000, max_positions=512)
+        assert hidden % 64 == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            solve_hidden(0, 24, 30_000, 512)
+        with pytest.raises(ConfigurationError):
+            solve_hidden(1e9, 0, 30_000, 512)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("billions", sorted(BERT_VARIANTS))
+    def test_bert_parameter_counts(self, billions):
+        model = bert_variant(billions)
+        assert abs(model.config.billions - billions) / billions < 0.06
+
+    @pytest.mark.parametrize("billions", sorted(GPT_VARIANTS))
+    def test_gpt_parameter_counts(self, billions):
+        model = gpt_variant(billions)
+        assert abs(model.config.billions - billions) / billions < 0.06
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bert_variant(3.3)
+        with pytest.raises(ConfigurationError):
+            gpt_variant(100.0)
+
+    def test_bert_uses_squad_sequence_length(self):
+        assert bert_variant(0.35).config.seq_len == 384
+
+    def test_gpt_uses_wikipedia_sequence_length(self):
+        assert gpt_variant(5.3).config.seq_len == 1024
+
+    def test_variants_grow_monotonically(self):
+        params = [bert_variant(b).total_params for b in sorted(BERT_VARIANTS)]
+        assert params == sorted(params)
+
+
+class TestModelSpec:
+    def test_layer_structure(self):
+        model = tiny_model(n_layers=6)
+        assert model.n_layers == 8  # embedding + 6 + head
+        assert model.layers[0].kind is LayerKind.EMBEDDING
+        assert model.layers[-1].kind is LayerKind.HEAD
+        assert all(l.kind is LayerKind.TRANSFORMER for l in model.layers[1:-1])
+
+    def test_head_shares_embedding_weights(self):
+        model = tiny_model()
+        assert model.layers[-1].params == 0
+
+    def test_total_params_sums_layers(self):
+        model = tiny_model()
+        assert model.total_params == sum(l.params for l in model.layers)
+        assert model.total_params == model.config.total_params
+
+    def test_iteration_flops_is_fwd_plus_bwd(self):
+        model = tiny_model()
+        assert model.iteration_flops(4) == pytest.approx(
+            model.forward_flops(4) + model.backward_flops(4)
+        )
+
+    def test_layer_indices_validated(self):
+        model = tiny_model()
+        with pytest.raises(ConfigurationError):
+            ModelSpec(config=model.config, layers=list(reversed(model.layers)))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransformerConfig(
+                name="bad", n_layers=2, hidden=100, heads=7,
+                vocab=10, seq_len=8, max_positions=16,
+            )
+        with pytest.raises(ConfigurationError):
+            TransformerConfig(
+                name="bad", n_layers=2, hidden=64, heads=4,
+                vocab=10, seq_len=32, max_positions=16,
+            )
+
+    def test_describe_mentions_depth_and_width(self):
+        text = bert_variant(0.35).config.describe()
+        assert "24 layers" in text and "1024" in text

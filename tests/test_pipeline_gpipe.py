@@ -1,0 +1,78 @@
+"""GPipe schedule tests."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.pipeline.gpipe import gpipe_schedule
+from repro.pipeline.schedule import OpKind
+from repro.sim.executor import simulate
+
+from tests.conftest import tiny_job
+
+
+class TestSchedule:
+    def test_all_forwards_precede_all_backwards(self):
+        sched = gpipe_schedule(3, 1, 4)
+        for stage in range(3):
+            ops = sched.stage_ops(stage)
+            last_fwd = max(i for i, op in enumerate(ops) if op.kind is OpKind.FORWARD)
+            first_bwd = min(i for i, op in enumerate(ops) if op.kind is OpKind.BACKWARD)
+            assert last_fwd < first_bwd
+
+    def test_backwards_run_in_reverse_microbatch_order(self):
+        sched = gpipe_schedule(2, 1, 4)
+        bwds = [op.microbatch for op in sched.stage_ops(0) if op.kind is OpKind.BACKWARD]
+        assert bwds == [3, 2, 1, 0]
+
+    def test_full_in_flight_at_turning_point(self):
+        # GPipe's defining memory property: every stage holds ALL
+        # microbatches at the forward/backward boundary.
+        sched = gpipe_schedule(4, 1, 6)
+        for stage in range(4):
+            assert sched.max_in_flight(stage) == 6
+
+    def test_single_weight_version(self):
+        sched = gpipe_schedule(4, 2, 4)
+        assert all(sched.weight_versions(s) == 1 for s in range(4))
+
+    def test_optimizer_per_minibatch(self):
+        sched = gpipe_schedule(2, 3, 2)
+        opts = [op for op in sched.stage_ops(1) if op.kind is OpKind.OPTIMIZER]
+        assert len(opts) == 3
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ScheduleError):
+            gpipe_schedule(0, 1, 1)
+
+
+class TestExecution:
+    def test_simulates_without_deadlock(self):
+        job = tiny_job(system="gpipe")
+        result = simulate(job, strict=False)
+        assert result.ok
+        assert result.tflops > 0
+
+    def test_uses_more_memory_than_dapple(self):
+        # All microbatches in flight everywhere vs depth-bounded 1F1B.
+        gpipe = simulate(
+            tiny_job(system="gpipe", microbatches_per_minibatch=8), strict=False
+        )
+        dapple = simulate(
+            tiny_job(system="dapple", microbatches_per_minibatch=8), strict=False
+        )
+        assert gpipe.memory.gpu(3).peak > dapple.memory.gpu(3).peak
+
+    def test_mpress_plans_on_gpipe(self):
+        from repro.core.mpress import run_system
+        from repro.units import MiB
+        from tests.conftest import small_server, tiny_model, tiny_job as build
+
+        job = build(
+            server=small_server(gpu_memory=48 * MiB),
+            model=tiny_model(n_layers=10),
+            system="gpipe",
+            microbatch_size=8,
+            microbatches_per_minibatch=6,
+        )
+        assert not run_system(job, "none").ok
+        assert run_system(job, "mpress").ok

@@ -1,0 +1,106 @@
+"""Stage partitioning tests."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.pipeline.partition import (
+    linear_partition,
+    partition_computation_balanced,
+    partition_memory_balanced,
+    partition_model,
+)
+
+from tests.conftest import tiny_model
+
+
+class TestLinearPartition:
+    def test_trivial_single_part(self):
+        assert linear_partition([1, 2, 3], 1) == [0]
+
+    def test_each_item_its_own_part(self):
+        assert linear_partition([5, 1, 9], 3) == [0, 1, 2]
+
+    def test_balances_uniform_weights(self):
+        starts = linear_partition([1.0] * 8, 4)
+        assert starts == [0, 2, 4, 6]
+
+    def test_optimal_on_skewed_weights(self):
+        # [9, 1, 1, 1] into 2 parts: optimal split isolates the 9.
+        starts = linear_partition([9, 1, 1, 1], 2)
+        assert starts == [0, 1]
+
+    def test_minimizes_max_part(self):
+        weights = [3, 1, 4, 1, 5, 9, 2, 6]
+        starts = linear_partition(weights, 3)
+        bounds = starts + [len(weights)]
+        sums = [sum(weights[bounds[i]:bounds[i + 1]]) for i in range(3)]
+        # Known optimum for this instance is max sum 14.
+        assert max(sums) == 14
+
+    def test_rejects_more_parts_than_items(self):
+        with pytest.raises(PartitionError):
+            linear_partition([1, 2], 3)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(PartitionError):
+            linear_partition([1, -2, 3], 2)
+
+
+class TestModelPartition:
+    def test_covers_all_layers_contiguously(self):
+        model = tiny_model(n_layers=10)
+        plan = partition_computation_balanced(model, 4)
+        flat = [layer.index for stage in plan.stages for layer in stage.layers]
+        assert flat == list(range(model.n_layers))
+
+    def test_computation_balance_quality(self):
+        model = tiny_model(n_layers=14)
+        plan = partition_computation_balanced(model, 4, microbatch=2)
+        flops = [
+            s.forward_flops(2) + s.backward_flops(2) for s in plan.stages
+        ]
+        assert max(flops) < 2.0 * (sum(flops) / len(flops))
+
+    def test_memory_balance_shifts_layers_late(self):
+        model = tiny_model(n_layers=12)
+        compute = partition_computation_balanced(model, 4, microbatch=2)
+        memory = partition_memory_balanced(model, 4, microbatch=2)
+        # Memory-balanced partitioning weighs params+activations, so
+        # its stage boundaries differ from compute balancing.
+        compute_sizes = [s.n_layers for s in compute.stages]
+        memory_sizes = [s.n_layers for s in memory.stages]
+        assert sum(compute_sizes) == sum(memory_sizes) == model.n_layers
+
+    def test_partition_model_dispatch(self):
+        model = tiny_model()
+        assert partition_model(model, 2, "computation").n_stages == 2
+        assert partition_model(model, 2, "memory").n_stages == 2
+        with pytest.raises(PartitionError):
+            partition_model(model, 2, "random")
+
+
+class TestStagePlan:
+    def test_stage_accessors(self):
+        model = tiny_model()
+        plan = partition_model(model, 4)
+        assert plan.stage(0).stage_id == 0
+        with pytest.raises(PartitionError):
+            plan.stage(4)
+
+    def test_stage_params_sum_to_model(self):
+        model = tiny_model()
+        plan = partition_model(model, 4)
+        assert sum(s.params for s in plan.stages) == model.total_params
+
+    def test_model_state_bytes_scales_with_versions(self):
+        model = tiny_model()
+        stage = partition_model(model, 4).stage(1)
+        single = stage.model_state_bytes(weight_versions=1)
+        stashed = stage.model_state_bytes(weight_versions=3)
+        assert stashed - single == 2 * stage.params * 2  # 2 extra fp16 copies
+
+    def test_model_state_bytes_rejects_zero_versions(self):
+        model = tiny_model()
+        stage = partition_model(model, 4).stage(0)
+        with pytest.raises(PartitionError):
+            stage.model_state_bytes(weight_versions=0)

@@ -1,0 +1,128 @@
+"""Schedule tests: 1F1B structure, PipeDream vs DAPPLE semantics."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.pipeline.dapple import dapple_schedule
+from repro.pipeline.pipedream import pipedream_schedule
+from repro.pipeline.schedule import OpKind, PipelineSchedule, ScheduleOp, one_f_one_b
+
+
+class TestOneFOneB:
+    def test_warmup_then_alternation(self):
+        ops = one_f_one_b(3, 0, [0, 1, 2, 3], warmup=3)
+        kinds = [(op.kind, op.microbatch) for op in ops]
+        assert kinds == [
+            (OpKind.FORWARD, 0), (OpKind.FORWARD, 1), (OpKind.FORWARD, 2),
+            (OpKind.BACKWARD, 0), (OpKind.FORWARD, 3),
+            (OpKind.BACKWARD, 1), (OpKind.BACKWARD, 2), (OpKind.BACKWARD, 3),
+        ]
+
+    def test_warmup_clamped_to_total(self):
+        ops = one_f_one_b(8, 0, [0, 1], warmup=8)
+        assert len(ops) == 4
+
+    def test_rejects_zero_warmup(self):
+        with pytest.raises(ScheduleError):
+            one_f_one_b(2, 0, [0], warmup=0)
+
+
+class TestPipeDream:
+    def test_weight_versions_decrease_with_stage(self):
+        sched = pipedream_schedule(4, 4, 1)
+        versions = [sched.weight_versions(s) for s in range(4)]
+        assert versions == [4, 3, 2, 1]
+
+    def test_in_flight_decreases_with_stage(self):
+        # The memory-imbalance mechanism of Figure 2.
+        sched = pipedream_schedule(4, 8, 1)
+        in_flight = [sched.max_in_flight(s) for s in range(4)]
+        assert in_flight == [4, 3, 2, 1]
+
+    def test_optimizer_after_each_minibatch(self):
+        sched = pipedream_schedule(2, 3, 1)
+        for stage in range(2):
+            opts = [op for op in sched.stage_ops(stage) if op.kind is OpKind.OPTIMIZER]
+            assert len(opts) == 3
+
+    def test_async_mode(self):
+        assert pipedream_schedule(2, 2, 1).mode == "async"
+
+    def test_no_drain_between_minibatches(self):
+        # Async: forwards of later minibatches interleave with
+        # backwards of earlier ones (Figure 1a).
+        sched = pipedream_schedule(3, 4, 1)
+        ops = sched.stage_ops(0)
+        first_bwd = next(i for i, op in enumerate(ops) if op.kind is OpKind.BACKWARD)
+        later_fwd = [
+            i for i, op in enumerate(ops)
+            if op.kind is OpKind.FORWARD and op.minibatch > 0
+        ]
+        assert any(i < first_bwd + 3 for i in later_fwd)
+
+
+class TestDAPPLE:
+    def test_single_weight_version(self):
+        sched = dapple_schedule(4, 2, 8)
+        assert all(sched.weight_versions(s) == 1 for s in range(4))
+
+    def test_in_flight_bounded_by_stage_depth(self):
+        sched = dapple_schedule(4, 2, 8)
+        assert [sched.max_in_flight(s) for s in range(4)] == [4, 3, 2, 1]
+
+    def test_minibatches_are_serialized(self):
+        # Sync: all of minibatch 0 drains before minibatch 1 starts
+        # (the vertical line in Figure 1b).
+        sched = dapple_schedule(3, 2, 4)
+        for stage in range(3):
+            ops = sched.stage_ops(stage)
+            last_mb0 = max(
+                i for i, op in enumerate(ops)
+                if op.minibatch == 0 and op.kind is not OpKind.OPTIMIZER
+            )
+            first_mb1 = min(
+                i for i, op in enumerate(ops)
+                if op.minibatch == 1 and op.kind is not OpKind.OPTIMIZER
+            )
+            assert last_mb0 < first_mb1
+
+    def test_optimizer_between_minibatches(self):
+        sched = dapple_schedule(2, 2, 3)
+        ops = sched.stage_ops(0)
+        opt_positions = [i for i, op in enumerate(ops) if op.kind is OpKind.OPTIMIZER]
+        assert len(opt_positions) == 2
+
+
+class TestValidation:
+    def test_missing_microbatch_rejected(self):
+        rows = [[ScheduleOp(OpKind.FORWARD, 0, 0), ScheduleOp(OpKind.BACKWARD, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            PipelineSchedule(
+                mode="sync", n_stages=1, n_minibatches=1,
+                microbatches_per_minibatch=2, per_stage=rows,
+            )
+
+    def test_backward_before_forward_rejected(self):
+        rows = [[ScheduleOp(OpKind.BACKWARD, 0, 0), ScheduleOp(OpKind.FORWARD, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            PipelineSchedule(
+                mode="sync", n_stages=1, n_minibatches=1,
+                microbatches_per_minibatch=1, per_stage=rows,
+            )
+
+    def test_optimizer_op_requires_sentinel_microbatch(self):
+        with pytest.raises(ScheduleError):
+            ScheduleOp(OpKind.OPTIMIZER, 3, 0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ScheduleError):
+            PipelineSchedule(
+                mode="eager", n_stages=0, n_minibatches=1,
+                microbatches_per_minibatch=1, per_stage=[],
+            )
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ScheduleError):
+            pipedream_schedule(0, 1, 1)
+        with pytest.raises(ScheduleError):
+            dapple_schedule(2, 0, 1)

@@ -1,0 +1,98 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine, Task, TaskState
+from repro.sim.resources import Stream
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_fifo_makespan_is_sum_of_durations(durations):
+    engine = Engine()
+    stream = Stream("s")
+    engine.register_stream(stream)
+    for index, duration in enumerate(durations):
+        stream.submit(Task(f"t{index}", duration))
+    assert engine.run() == sum(durations) or abs(engine.run() - sum(durations)) < 1e-9
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=2,
+        max_size=16,
+    ),
+    n_streams=st.integers(min_value=1, max_value=4),
+    seed=st.randoms(),
+)
+@settings(max_examples=50)
+def test_random_dags_always_complete_in_topological_time(durations, n_streams, seed):
+    """Any forward-edge DAG on FIFO streams completes, and every task
+    starts only after all its dependencies finished."""
+    engine = Engine()
+    streams = [Stream(f"s{i}") for i in range(n_streams)]
+    for stream in streams:
+        engine.register_stream(stream)
+    tasks = []
+    pending = []
+    for index, duration in enumerate(durations):
+        deps = []
+        if tasks:
+            n_deps = seed.randint(0, min(3, len(tasks)))
+            deps = seed.sample(tasks, n_deps)
+        task = Task(f"t{index}", duration, deps=deps)
+        tasks.append(task)
+        pending.append(task)
+    # Submit in creation order (dependencies always earlier), spread
+    # round-robin across streams — a safe order for FIFO streams.
+    for index, task in enumerate(pending):
+        streams[index % n_streams].submit(task)
+    engine.run()
+    for task in tasks:
+        assert task.state is TaskState.DONE
+        for dep in task.deps:
+            assert dep.end_time <= task.start_time + 1e-12
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=40)
+def test_pool_stream_busy_time_equals_total_work(durations):
+    engine = Engine()
+    pool = Stream("pool", mode="pool")
+    engine.register_stream(pool)
+    for index, duration in enumerate(durations):
+        pool.submit(Task(f"t{index}", duration))
+    makespan = engine.run()
+    assert abs(pool.busy_time - sum(durations)) < 1e-9
+    assert abs(makespan - sum(durations)) < 1e-9
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=40)
+def test_tasks_never_overlap_on_one_stream(durations):
+    engine = Engine()
+    stream = Stream("s", mode="pool")
+    engine.register_stream(stream)
+    tasks = [stream.submit(Task(f"t{i}", d)) for i, d in enumerate(durations)]
+    engine.run()
+    windows = sorted((t.start_time, t.end_time) for t in tasks)
+    for (s1, e1), (s2, _) in zip(windows, windows[1:]):
+        assert e1 <= s2 + 1e-12

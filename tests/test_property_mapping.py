@@ -1,0 +1,75 @@
+"""Property-based tests for the device-mapping search."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.device_mapping import assign_spare_memory, search_device_mapping
+from repro.hardware.topology import dgx1_topology, dgx2_topology
+
+TOPO = dgx1_topology()
+
+byte_vectors = st.lists(
+    st.integers(min_value=0, max_value=30 * 2**30), min_size=8, max_size=8
+)
+
+
+@given(overflow=byte_vectors, spare=byte_vectors)
+@settings(max_examples=30, deadline=None)
+def test_assignment_invariants(overflow, spare):
+    evaluation = assign_spare_memory(TOPO, tuple(range(8)), overflow, spare)
+    # Per-importer totals never exceed that importer's spare.
+    received = {}
+    for exporter, alloc in evaluation.assignments.items():
+        assert overflow[exporter] > 0
+        for importer, amount in alloc.items():
+            assert amount > 0
+            received[importer] = received.get(importer, 0) + amount
+    for importer, amount in received.items():
+        assert amount <= spare[importer]
+    # Per-exporter totals never exceed the exporter's demand.
+    for exporter, alloc in evaluation.assignments.items():
+        assert sum(alloc.values()) <= overflow[exporter]
+    # Placed fraction is consistent.
+    total_overflow = sum(overflow)
+    placed = sum(sum(a.values()) for a in evaluation.assignments.values())
+    if total_overflow:
+        assert abs(evaluation.placed_fraction - placed / total_overflow) < 1e-9
+    # Only NVLink-reachable pairs are used.
+    for exporter, alloc in evaluation.assignments.items():
+        for importer in alloc:
+            assert TOPO.lanes(exporter, importer) > 0
+
+
+@given(overflow=byte_vectors, spare=byte_vectors)
+@settings(max_examples=10, deadline=None)
+def test_search_returns_valid_permutation(overflow, spare):
+    result = search_device_mapping(TOPO, overflow, spare, mode="greedy")
+    assert sorted(result.device_map) == list(range(8))
+    assert 0.0 <= result.placed_fraction <= 1.0
+
+
+@given(overflow=byte_vectors, spare=byte_vectors)
+@settings(max_examples=10, deadline=None)
+def test_search_never_worse_than_identity(overflow, spare):
+    from repro.core.device_mapping import _score
+
+    identity_eval = assign_spare_memory(TOPO, tuple(range(8)), overflow, spare)
+    result = search_device_mapping(TOPO, overflow, spare, mode="greedy")
+    # Greedy anchors stage 0 at device 0 but still explores 5040
+    # mappings including the identity, so its *score* (the search
+    # objective — revenue over transfer time, which may trade a sliver
+    # of placed bytes for a faster layout) cannot lose to identity's.
+    assert result.score >= _score(identity_eval) - 1e-9
+
+
+@given(overflow=byte_vectors, spare=byte_vectors)
+@settings(max_examples=20, deadline=None)
+def test_switched_topology_places_all_reachable(overflow, spare):
+    # A stage never both overflows and offers spare (the planner
+    # derives them from the same peak), so zero out the conflicts.
+    spare = [0 if overflow[i] > 0 else spare[i] for i in range(8)]
+    topo = dgx2_topology()
+    evaluation = assign_spare_memory(topo, tuple(range(8)), overflow, spare)
+    # Full crossbar: placement is only limited by totals.
+    expected = min(sum(overflow), sum(spare))
+    placed = sum(sum(a.values()) for a in evaluation.assignments.values())
+    assert placed >= expected * 0.99 - 8  # rounding slack

@@ -1,0 +1,68 @@
+"""Property-based tests for memory-tracking invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.memory import DeviceMemory
+
+import pytest
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free"]),
+        st.integers(min_value=0, max_value=1000),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=operations)
+def test_peak_dominates_and_books_balance(ops):
+    mem = DeviceMemory("gpu", capacity=10**9)
+    held = {"a": 0, "b": 0, "c": 0}
+    time = 0.0
+    for op, size, tag in ops:
+        time += 1.0
+        if op == "alloc":
+            mem.alloc(size, time, tag=tag)
+            held[tag] += size
+        else:
+            if size > held[tag]:
+                with pytest.raises(SimulationError):
+                    mem.free(size, time, tag=tag)
+            else:
+                mem.free(size, time, tag=tag)
+                held[tag] -= size
+        assert mem.in_use == sum(held.values())
+        assert mem.peak >= mem.in_use
+    assert mem.usage_by_tag() == {t: v for t, v in held.items() if v > 0}
+
+
+@given(ops=operations)
+@settings(max_examples=50)
+def test_composition_at_matches_final_state(ops):
+    mem = DeviceMemory("gpu", capacity=10**9)
+    time = 0.0
+    for op, size, tag in ops:
+        time += 1.0
+        try:
+            if op == "alloc":
+                mem.alloc(size, time, tag=tag)
+            else:
+                mem.free(size, time, tag=tag)
+        except SimulationError:
+            pass
+    assert mem.composition_at(time + 1) == mem.usage_by_tag()
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30)
+)
+def test_timeline_monotone_in_time(sizes):
+    mem = DeviceMemory("gpu", capacity=10**9)
+    for index, size in enumerate(sizes):
+        mem.alloc(size, float(index), tag="x")
+    times = [t for t, _ in mem.timeline]
+    assert times == sorted(times)
+    assert mem.timeline[-1][1] == sum(sizes)

@@ -1,0 +1,58 @@
+"""Property-based tests for the linear partition DP."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.partition import linear_partition
+
+weight_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@given(weights=weight_lists, data=st.data())
+def test_partition_structure(weights, data):
+    n_parts = data.draw(st.integers(min_value=1, max_value=len(weights)))
+    starts = linear_partition(weights, n_parts)
+    # Right number of parts, starting at zero, strictly increasing.
+    assert len(starts) == n_parts
+    assert starts[0] == 0
+    assert all(a < b for a, b in zip(starts, starts[1:]))
+    assert starts[-1] < len(weights)
+
+
+@given(weights=weight_lists, data=st.data())
+@settings(max_examples=50)
+def test_partition_is_optimal_vs_bruteforce(weights, data):
+    import itertools
+
+    if len(weights) > 10:
+        weights = weights[:10]
+    n_parts = data.draw(st.integers(min_value=1, max_value=len(weights)))
+    starts = linear_partition(weights, n_parts)
+    bounds = starts + [len(weights)]
+    achieved = max(
+        sum(weights[bounds[i]: bounds[i + 1]]) for i in range(n_parts)
+    )
+    # Brute-force all contiguous partitions.
+    best = float("inf")
+    for cuts in itertools.combinations(range(1, len(weights)), n_parts - 1):
+        candidate_bounds = [0, *cuts, len(weights)]
+        worst = max(
+            sum(weights[candidate_bounds[i]: candidate_bounds[i + 1]])
+            for i in range(n_parts)
+        )
+        best = min(best, worst)
+    assert achieved <= best + 1e-6
+
+
+@given(
+    n_items=st.integers(min_value=1, max_value=30),
+    n_parts=st.integers(min_value=1, max_value=30),
+)
+def test_uniform_weights_balance(n_items, n_parts):
+    if n_parts > n_items:
+        n_parts = n_items
+    starts = linear_partition([1.0] * n_items, n_parts)
+    bounds = starts + [n_items]
+    sizes = [bounds[i + 1] - bounds[i] for i in range(n_parts)]
+    assert max(sizes) - min(sizes) <= 1

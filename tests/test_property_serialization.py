@@ -1,0 +1,69 @@
+"""Property-based plan serialization round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import Action, MemorySavingPlan, PlanEntry
+from repro.core.serialization import plan_from_dict, plan_to_dict
+from repro.core.striping import build_stripe_plan
+from repro.errors import PlanError
+from repro.graph.tensor import TensorClass, TensorKind
+from repro.hardware.topology import dgx1_topology
+
+TOPO = dgx1_topology()
+
+kinds = st.sampled_from([TensorKind.ACTIVATION, TensorKind.OPTIMIZER_STATE,
+                         TensorKind.STASHED_PARAMS])
+
+
+@st.composite
+def entries(draw):
+    kind = draw(kinds)
+    stage = draw(st.integers(min_value=0, max_value=7))
+    layer = draw(st.integers(min_value=0, max_value=60)) if (
+        kind is TensorKind.ACTIVATION
+    ) else -1
+    size = draw(st.integers(min_value=1024, max_value=2**30))
+    instances = draw(st.integers(min_value=1, max_value=8))
+    cls = TensorClass(kind, stage, layer, size, instances,
+                      kind is TensorKind.ACTIVATION)
+    if kind is TensorKind.ACTIVATION:
+        action = draw(st.sampled_from(
+            [Action.RECOMPUTE, Action.CPU_SWAP, Action.D2D_SWAP]
+        ))
+    else:
+        action = draw(st.sampled_from([Action.CPU_SWAP, Action.D2D_SWAP]))
+    stripe = None
+    tier = "host"
+    if action is Action.D2D_SWAP:
+        budgets = {dev: size * 2 for dev in TOPO.neighbors(stage)}
+        try:
+            stripe = build_stripe_plan(TOPO, stage, budgets, size)
+        except PlanError:
+            action = Action.CPU_SWAP
+    if action is Action.CPU_SWAP:
+        tier = draw(st.sampled_from(["host", "nvme"]))
+    return PlanEntry(cls=cls, action=action, stripe=stripe, tier=tier)
+
+
+@given(entry_list=st.lists(entries(), max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_is_identity(entry_list):
+    plan = MemorySavingPlan(device_map=list(range(8)))
+    for entry in entry_list:
+        plan.assign(entry)
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert restored.device_map == plan.device_map
+    assert set(restored.entries) == set(plan.entries)
+    for key, original in plan.entries.items():
+        copy = restored.entries[key]
+        assert copy.cls == original.cls
+        assert copy.action == original.action
+        assert copy.tier == original.tier
+        if original.stripe is None:
+            assert copy.stripe is None
+        else:
+            assert copy.stripe.exporter == original.stripe.exporter
+            assert copy.stripe.tensor_bytes == original.stripe.tensor_bytes
+            assert copy.stripe.blocks == original.stripe.blocks
+    # Saved-bytes accounting survives the trip.
+    assert restored.saved_by_action() == plan.saved_by_action()

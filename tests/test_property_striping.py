@@ -1,0 +1,89 @@
+"""Property-based tests for data striping invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.striping import build_stripe_plan, distribute_weighted
+from repro.errors import PlanError
+from repro.hardware.topology import dgx1_topology, dgx2_topology
+
+import pytest
+
+TOPO = dgx1_topology()
+SWITCHED = dgx2_topology()
+
+sizes = st.integers(min_value=1, max_value=10**10)
+lane_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=7),
+    values=st.integers(min_value=0, max_value=3),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(size=sizes, lanes=lane_maps)
+def test_distribute_weighted_conserves_bytes(size, lanes):
+    if not any(v > 0 for v in lanes.values()):
+        with pytest.raises(PlanError):
+            distribute_weighted(size, lanes)
+        return
+    shares = distribute_weighted(size, lanes)
+    assert sum(shares.values()) == size
+    assert all(share > 0 for share in shares.values())
+    assert set(shares) <= {imp for imp, v in lanes.items() if v > 0}
+
+
+@given(size=sizes)
+def test_distribute_respects_lane_ordering(size):
+    shares = distribute_weighted(size, {1: 1, 2: 2, 3: 3})
+    # More lanes never means fewer bytes.
+    got = [shares.get(imp, 0) for imp in (1, 2, 3)]
+    assert got == sorted(got)
+
+
+@given(
+    size=st.integers(min_value=1024, max_value=10**9),
+    exporter=st.integers(min_value=0, max_value=7),
+    budget_scale=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=60)
+def test_stripe_plan_invariants_direct_topology(size, exporter, budget_scale):
+    budgets = {
+        dev: int(size * budget_scale)
+        for dev in range(8)
+        if dev != exporter and TOPO.lanes(exporter, dev) > 0
+    }
+    plan = build_stripe_plan(TOPO, exporter, budgets, size)
+    # Conservation.
+    assert sum(b.size for b in plan.blocks) == size
+    # Budgets respected per importer.
+    for importer in plan.importers:
+        assert plan.bytes_to(importer) <= budgets[importer]
+    # Lanes actually exist.
+    for block in plan.blocks:
+        assert TOPO.lanes(exporter, block.importer) > 0
+    # No self-import.
+    assert exporter not in plan.importers
+
+
+@given(size=st.integers(min_value=1024, max_value=10**9))
+@settings(max_examples=30)
+def test_striping_never_slower_than_single_importer(size):
+    all_budgets = {dev: size * 2 for dev in (1, 2, 3, 4)}
+    wide = build_stripe_plan(TOPO, 0, all_budgets, size)
+    narrow = build_stripe_plan(TOPO, 0, {1: size * 2}, size)
+    assert wide.one_way_time(TOPO) <= narrow.one_way_time(TOPO) + 1e-9
+
+
+@given(
+    size=st.integers(min_value=1024, max_value=10**9),
+    n_importers=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30)
+def test_stripe_plan_invariants_switched_topology(size, n_importers):
+    importers = list(range(1, 1 + n_importers))
+    budgets = {dev: size for dev in importers}
+    plan = build_stripe_plan(SWITCHED, 0, budgets, size)
+    assert sum(b.size for b in plan.blocks) == size
+    for block in plan.blocks:
+        assert block.lane[0] == "egress" and block.lane[1] == 0
+        assert block.return_lane[1] == block.importer

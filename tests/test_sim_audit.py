@@ -1,0 +1,80 @@
+"""Audit module tests: clean runs pass, corrupted traces are caught."""
+
+from repro.core.plan import Action, PlanEntry, empty_plan
+from repro.graph.tensor import TensorKind, tensor_classes_for
+from repro.sim.audit import audit_simulation
+from repro.sim.executor import simulate
+from repro.sim.trace import TraceEvent
+
+from tests.conftest import tiny_job
+
+
+def test_clean_baseline_run_passes():
+    result = simulate(tiny_job(), strict=False)
+    report = audit_simulation(result)
+    assert report.ok, report.violations
+
+
+def test_clean_compacted_run_passes():
+    job = tiny_job()
+    plan = empty_plan(job.n_stages)
+    classes = tensor_classes_for(
+        job.stage_plan, job.schedule, job.microbatch_size, job.bytes_per_element
+    )
+    for cls in classes:
+        if cls.kind is TensorKind.ACTIVATION and cls.stage in (0, 1):
+            plan.assign(PlanEntry(cls=cls, action=Action.CPU_SWAP))
+        elif cls.kind is TensorKind.OPTIMIZER_STATE and cls.stage == 0:
+            plan.assign(PlanEntry(cls=cls, action=Action.CPU_SWAP))
+    result = simulate(job, plan, strict=False)
+    report = audit_simulation(result)
+    assert report.ok, report.violations
+
+
+def test_oom_run_is_flagged():
+    from repro.units import MiB
+
+    result = simulate(tiny_job(), strict=True, gpu_capacity_override=4 * MiB)
+    report = audit_simulation(result)
+    assert not report.ok
+
+
+def test_missing_backward_detected():
+    result = simulate(tiny_job(), strict=False)
+    # Corrupt the trace: drop one backward event.
+    victim = next(e for e in result.trace.events if e.kind == "bwd")
+    result.trace.events.remove(victim)
+    report = audit_simulation(result)
+    assert any("unpaired" in v for v in report.violations)
+
+
+def test_causality_violation_detected():
+    result = simulate(tiny_job(), strict=False)
+    fwd = next(e for e in result.trace.events if e.kind == "fwd")
+    # Inject a backward that starts before its forward ended.
+    result.trace.events.append(
+        TraceEvent("bogus", "bwd", fwd.device, fwd.microbatch,
+                   start=fwd.start - 1.0, end=fwd.start - 0.5, layer=fwd.layer)
+    )
+    report = audit_simulation(result)
+    assert any("before forward" in v for v in report.violations)
+
+
+def test_swap_imbalance_detected():
+    result = simulate(tiny_job(), strict=False)
+    result.trace.events.append(
+        TraceEvent("lost", "swap_out", 0, 0, 0.0, 0.1)
+    )
+    report = audit_simulation(result)
+    assert any("swap-outs" in v for v in report.violations)
+
+
+def test_compute_overlap_detected():
+    result = simulate(tiny_job(), strict=False)
+    first = next(e for e in result.trace.events if e.kind == "fwd")
+    result.trace.events.append(
+        TraceEvent("overlap", "opt", first.device, -1,
+                   start=first.start, end=first.end + 0.1)
+    )
+    report = audit_simulation(result)
+    assert any("overlap" in v for v in report.violations)

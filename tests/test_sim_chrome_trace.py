@@ -1,0 +1,53 @@
+"""Chrome trace export tests."""
+
+import json
+
+from repro.sim.chrome_trace import save_chrome_trace, trace_to_chrome, trace_to_events
+from repro.sim.executor import simulate
+from repro.sim.trace import Trace, TraceEvent
+
+from tests.conftest import tiny_job
+
+
+def _trace():
+    trace = Trace()
+    trace.record(TraceEvent("f0", "fwd", 0, 0, 0.0, 0.5, layer=1))
+    trace.record(TraceEvent("b0", "bwd", 0, 0, 0.5, 1.5, layer=1))
+    trace.record(TraceEvent("x", "swap_out", 1, 0, 0.2, 0.9))
+    return trace
+
+
+def test_events_carry_complete_phase_and_microseconds():
+    events = trace_to_events(_trace())
+    assert all(e["ph"] == "X" for e in events)
+    fwd = next(e for e in events if e["cat"] == "fwd")
+    assert fwd["ts"] == 0.0
+    assert fwd["dur"] == 0.5 * 1e6
+    assert fwd["args"]["layer"] == 1
+
+
+def test_kinds_map_to_threads():
+    events = trace_to_events(_trace())
+    by_cat = {e["cat"]: e["tid"] for e in events}
+    assert by_cat["fwd"] == "compute"
+    assert by_cat["swap_out"] == "swap"
+
+
+def test_document_includes_process_names():
+    doc = trace_to_chrome(_trace(), device_names={0: "gpu-A"})
+    metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+    names = {m["pid"]: m["args"]["name"] for m in metas}
+    assert names[0] == "gpu-A"
+    assert names[1] == "gpu1"
+
+
+def test_real_simulation_exports_valid_json(tmp_path):
+    result = simulate(tiny_job(), strict=False)
+    path = str(tmp_path / "trace.json")
+    save_chrome_trace(result.trace, path)
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert len(doc["traceEvents"]) > 50
+    # All compute events fit within the makespan.
+    compute = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert max(e["ts"] + e["dur"] for e in compute) <= result.makespan * 1e6 * 1.001

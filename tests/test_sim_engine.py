@@ -1,0 +1,177 @@
+"""Discrete-event engine and stream tests."""
+
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim.engine import Engine, Task, TaskState
+from repro.sim.resources import Stream, StreamSet
+
+
+def _setup(mode="fifo"):
+    engine = Engine()
+    stream = Stream("s", mode=mode)
+    engine.register_stream(stream)
+    return engine, stream
+
+
+class TestBasics:
+    def test_single_task_runs(self):
+        engine, stream = _setup()
+        task = stream.submit(Task("t", 1.5))
+        assert engine.run() == pytest.approx(1.5)
+        assert task.state is TaskState.DONE
+        assert task.start_time == 0.0 and task.end_time == 1.5
+
+    def test_fifo_serializes_in_submission_order(self):
+        engine, stream = _setup()
+        a = stream.submit(Task("a", 1.0))
+        b = stream.submit(Task("b", 2.0))
+        engine.run()
+        assert a.end_time <= b.start_time
+
+    def test_independent_streams_run_concurrently(self):
+        engine = Engine()
+        s1, s2 = Stream("s1"), Stream("s2")
+        engine.register_stream(s1)
+        engine.register_stream(s2)
+        s1.submit(Task("a", 3.0))
+        s2.submit(Task("b", 3.0))
+        assert engine.run() == pytest.approx(3.0)
+
+    def test_dependency_across_streams(self):
+        engine = Engine()
+        s1, s2 = Stream("s1"), Stream("s2")
+        engine.register_stream(s1)
+        engine.register_stream(s2)
+        a = s1.submit(Task("a", 2.0))
+        b = s2.submit(Task("b", 1.0, deps=[a]))
+        engine.run()
+        assert b.start_time == pytest.approx(2.0)
+
+    def test_hooks_fire_at_start_and_end(self):
+        engine, stream = _setup()
+        events = []
+        stream.submit(
+            Task(
+                "t",
+                1.0,
+                on_start=lambda t, now: events.append(("start", now)),
+                on_done=lambda t, now: events.append(("done", now)),
+            )
+        )
+        engine.run()
+        assert events == [("start", 0.0), ("done", 1.0)]
+
+    def test_zero_duration_task(self):
+        engine, stream = _setup()
+        task = stream.submit(Task("t", 0.0))
+        engine.run()
+        assert task.end_time == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            Task("t", -1.0)
+
+
+class TestPoolStreams:
+    def test_pool_picks_ready_task_over_blocked_head(self):
+        engine = Engine()
+        gate_stream = Stream("gate")
+        pool = Stream("pool", mode="pool")
+        engine.register_stream(gate_stream)
+        engine.register_stream(pool)
+        gate = gate_stream.submit(Task("gate", 5.0))
+        blocked = pool.submit(Task("blocked", 1.0, deps=[gate]))
+        ready = pool.submit(Task("ready", 1.0))
+        engine.run()
+        # FIFO would stall 'ready' behind 'blocked'; pool must not.
+        assert ready.start_time == 0.0
+        assert blocked.start_time == pytest.approx(5.0)
+
+    def test_pool_still_one_at_a_time(self):
+        engine = Engine()
+        pool = Stream("pool", mode="pool")
+        engine.register_stream(pool)
+        a = pool.submit(Task("a", 1.0))
+        b = pool.submit(Task("b", 1.0))
+        engine.run()
+        assert {a.start_time, b.start_time} == {0.0, 1.0}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            Stream("s", mode="parallel")
+
+
+class TestDeadlockDetection:
+    def test_cycle_is_reported_not_hung(self):
+        engine = Engine()
+        s1, s2 = Stream("s1"), Stream("s2")
+        engine.register_stream(s1)
+        engine.register_stream(s2)
+        a = Task("a", 1.0)
+        b = Task("b", 1.0, deps=[a])
+        a.add_dep(b)
+        s1.submit(a)
+        s2.submit(b)
+        with pytest.raises(ScheduleError, match="deadlock"):
+            engine.run()
+
+    def test_fifo_head_blocked_by_later_task_deadlocks(self):
+        engine, stream = _setup()
+        later = Task("later", 1.0)
+        head = Task("head", 1.0, deps=[later])
+        stream.submit(head)
+        stream.submit(later)
+        with pytest.raises(ScheduleError):
+            engine.run()
+
+
+class TestTaskProtocol:
+    def test_add_dep_after_start_rejected(self):
+        engine, stream = _setup()
+        a = stream.submit(Task("a", 1.0))
+        engine.run()
+        with pytest.raises(SimulationError):
+            a.add_dep(Task("x", 1.0))
+
+    def test_double_submission_rejected(self):
+        engine, stream = _setup()
+        task = stream.submit(Task("t", 1.0))
+        with pytest.raises(SimulationError):
+            stream.submit(task)
+
+    def test_submit_to_unregistered_stream_rejected(self):
+        stream = Stream("orphan")
+        with pytest.raises(SimulationError):
+            stream.submit(Task("t", 1.0))
+
+    def test_run_until_pauses(self):
+        engine, stream = _setup()
+        stream.submit(Task("a", 1.0))
+        stream.submit(Task("b", 1.0))
+        assert engine.run(until=0.5) == 0.5
+
+
+class TestStreamSet:
+    def test_lazy_creation_and_reuse(self):
+        engine = Engine()
+        streams = StreamSet(engine)
+        a = streams.get(("compute", 0))
+        b = streams.get(("compute", 0))
+        assert a is b
+        assert len(streams) == 1
+
+    def test_mode_applies_on_first_creation(self):
+        engine = Engine()
+        streams = StreamSet(engine)
+        pool = streams.get(("lane", 0, 1, 0), mode="pool")
+        assert pool.mode == "pool"
+
+    def test_utilization(self):
+        engine = Engine()
+        streams = StreamSet(engine)
+        stream = streams.get("s")
+        stream.submit(Task("t", 2.0))
+        engine.run()
+        assert stream.utilization(4.0) == pytest.approx(0.5)
+        assert stream.utilization(0.0) == 0.0

@@ -1,0 +1,332 @@
+"""Executor tests: schedules, memory lifecycles, memory-saving ops."""
+
+import pytest
+
+from repro.core.plan import Action, MemorySavingPlan, PlanEntry, empty_plan
+from repro.core.striping import build_stripe_plan
+from repro.graph.tensor import TensorKind, tensor_classes_for
+from repro.sim.executor import ExecOptions, PipelineExecutor, simulate
+from repro.units import GiB, MiB
+
+from tests.conftest import small_server, tiny_job, tiny_model
+
+
+def _classes(job):
+    return tensor_classes_for(
+        job.stage_plan, job.schedule, job.microbatch_size, job.bytes_per_element
+    )
+
+
+class TestBaselineRun:
+    def test_completes_and_reports_metrics(self):
+        job = tiny_job()
+        result = simulate(job, strict=False)
+        assert result.ok
+        assert result.makespan > 0
+        assert result.minibatch_time > 0
+        assert result.tflops > 0
+        assert result.samples_per_second > 0
+
+    def test_memory_balanced_at_zero_at_end(self):
+        job = tiny_job()
+        executor = PipelineExecutor(job, options=ExecOptions(strict=False))
+        result = executor.run()
+        # All dynamic tensors freed; only static model state remains.
+        for device in range(job.server.n_gpus):
+            gpu = result.memory.gpu(device)
+            static = sum(
+                cls.peak_bytes
+                for cls in _classes(job)
+                if cls.kind in (TensorKind.WORKING_STATE, TensorKind.OPTIMIZER_STATE)
+                and device == cls.stage
+            )
+            assert gpu.in_use == static
+
+    def test_early_stages_peak_higher(self):
+        # Figure 2: memory imbalance decreasing with stage index.
+        job = tiny_job(microbatches_per_minibatch=8)
+        result = simulate(job, strict=False)
+        peaks = result.peak_memory_per_gpu
+        assert peaks[0] > peaks[-1]
+
+    def test_pipedream_peaks_exceed_dapple(self):
+        # Weight stashing + deeper in-flight: async uses more memory.
+        pd = simulate(tiny_job(system="pipedream", precision="fp32",
+                               microbatches_per_minibatch=1, n_minibatches=8),
+                      strict=False)
+        da = simulate(tiny_job(system="dapple", precision="fp32",
+                               microbatches_per_minibatch=4, n_minibatches=2),
+                      strict=False)
+        assert pd.memory.gpu(0).peak > da.memory.gpu(0).peak
+
+    def test_strict_mode_ooms_on_small_capacity(self):
+        job = tiny_job(server=small_server(gpu_memory=4 * MiB))
+        result = simulate(job, strict=True)
+        assert not result.ok
+        assert result.oom is not None
+        assert result.tflops == 0.0
+
+    def test_capacity_override(self):
+        job = tiny_job()
+        result = simulate(job, strict=True, gpu_capacity_override=4 * MiB)
+        assert not result.ok
+
+    def test_minibatch_time_from_optimizer_steps(self):
+        job = tiny_job(n_minibatches=3)
+        result = simulate(job, strict=False)
+        opts = [e for e in result.trace.events if e.kind == "opt" and e.device == 0]
+        assert len(opts) == 3
+        expected = (opts[-1].end - opts[0].end) / 2
+        assert result.minibatch_time == pytest.approx(expected)
+
+
+def _plan_with(job, kind, action, stages=(0,), tier="host"):
+    plan = empty_plan(job.n_stages)
+    classes = _classes(job)
+    topo = job.server.topology
+    for cls in classes:
+        if cls.kind is kind and cls.stage in stages:
+            stripe = None
+            if action is Action.D2D_SWAP:
+                exporter = cls.stage
+                budgets = {
+                    dev: 1 * GiB for dev in range(job.n_stages) if dev != exporter
+                }
+                stripe = build_stripe_plan(topo, exporter, budgets, cls.size)
+            plan.assign(PlanEntry(cls=cls, action=action, stripe=stripe, tier=tier))
+    return plan
+
+
+class TestRecomputation:
+    def test_reduces_peak_memory(self):
+        job = tiny_job(microbatches_per_minibatch=6)
+        base = simulate(job, strict=False)
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.RECOMPUTE, stages=(0,))
+        reduced = simulate(job, plan, strict=False)
+        assert reduced.memory.gpu(0).peak < base.memory.gpu(0).peak
+
+    def test_adds_compute_time(self):
+        job = tiny_job(microbatches_per_minibatch=6)
+        base = simulate(job, strict=False)
+        plan = _plan_with(
+            job, TensorKind.ACTIVATION, Action.RECOMPUTE, stages=(0, 1, 2, 3)
+        )
+        slowed = simulate(job, plan, strict=False)
+        assert slowed.minibatch_time > base.minibatch_time
+
+    def test_recompute_events_recorded(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.RECOMPUTE, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        assert result.trace.by_kind("recompute")
+
+
+class TestCpuSwap:
+    def test_reduces_peak_memory_under_pressure(self):
+        # The allocator's backpressure only evicts aggressively when
+        # memory is tight; cap the device so the window bites.
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        cap = 32 * MiB
+        base = simulate(job, strict=False, gpu_capacity_override=cap)
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0,))
+        reduced = simulate(job, plan, strict=False, gpu_capacity_override=cap)
+        assert reduced.memory.gpu(0).peak < base.memory.gpu(0).peak
+
+    def test_swapped_bytes_appear_on_host(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        assert result.memory.host.peak > 0
+
+    def test_swap_events_balanced(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        outs = result.trace.by_kind("swap_out")
+        ins = result.trace.by_kind("swap_in")
+        assert len(outs) == len(ins) > 0
+
+    def test_nvme_tier_bounds_host_residency(self):
+        # Under memory pressure the eviction window throttles NVMe
+        # staging, while host-tier tensors stay host-resident for
+        # their whole swapped-out window.
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        cap = 32 * MiB
+        host_plan = _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0, 1))
+        nvme_plan = _plan_with(
+            job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0, 1), tier="nvme"
+        )
+        host_run = simulate(job, host_plan, strict=False, gpu_capacity_override=cap)
+        nvme_run = simulate(job, nvme_plan, strict=False, gpu_capacity_override=cap)
+        assert nvme_run.memory.host.peak < host_run.memory.host.peak
+
+    def test_nvme_tier_is_slower(self):
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        cap = 32 * MiB
+        host_plan = _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0, 1))
+        nvme_plan = _plan_with(
+            job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0, 1), tier="nvme"
+        )
+        host_run = simulate(job, host_plan, strict=False, gpu_capacity_override=cap)
+        nvme_run = simulate(job, nvme_plan, strict=False, gpu_capacity_override=cap)
+        assert nvme_run.minibatch_time >= host_run.minibatch_time
+
+
+class TestD2DSwap:
+    def test_moves_bytes_to_importers(self):
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        cap = 32 * MiB
+        base = simulate(job, strict=False, gpu_capacity_override=cap)
+        plan = _plan_with(job, TensorKind.ACTIVATION, Action.D2D_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False, gpu_capacity_override=cap)
+        assert result.memory.gpu(0).peak < base.memory.gpu(0).peak
+        importer_peaks = [
+            result.memory.gpu(d).peak - base.memory.gpu(d).peak
+            for d in range(1, 4)
+        ]
+        assert any(delta > 0 for delta in importer_peaks)
+
+    def test_d2d_faster_than_cpu_swap(self):
+        # NVLink aggregate bandwidth beats PCIe (the Figure 4 point).
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        cap = 32 * MiB
+        cpu = simulate(
+            job,
+            _plan_with(job, TensorKind.ACTIVATION, Action.CPU_SWAP, stages=(0, 1)),
+            strict=False,
+            gpu_capacity_override=cap,
+        )
+        d2d = simulate(
+            job,
+            _plan_with(job, TensorKind.ACTIVATION, Action.D2D_SWAP, stages=(0, 1)),
+            strict=False,
+            gpu_capacity_override=cap,
+        )
+        assert d2d.minibatch_time <= cpu.minibatch_time
+
+    def test_optimizer_d2d_round_trips(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.OPTIMIZER_STATE, Action.D2D_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        assert result.ok
+        # Parked on importers between steps; home GPU ends clean.
+        cls = next(
+            c for c in _classes(job)
+            if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0
+        )
+        assert result.memory.gpu(0).usage_by_tag().get(str(cls.key)) is None
+
+
+class TestOptimizerCpuSwap:
+    def test_chunked_swap_bounds_gpu_residency(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.OPTIMIZER_STATE, Action.CPU_SWAP, stages=(0,))
+        cls = next(
+            c for c in _classes(job)
+            if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0
+        )
+        chunk = max(1, cls.size // 4)
+        executor = PipelineExecutor(
+            job, plan, ExecOptions(strict=False, opt_swap_chunk=chunk)
+        )
+        result = executor.run()
+        assert result.ok
+        base = simulate(job, strict=False)
+        # Transient optimizer residency stays below the full blob.
+        assert result.memory.gpu(0).peak < base.memory.gpu(0).peak
+
+    def test_host_holds_optimizer_statically(self):
+        job = tiny_job()
+        plan = _plan_with(job, TensorKind.OPTIMIZER_STATE, Action.CPU_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        cls = next(
+            c for c in _classes(job)
+            if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0
+        )
+        assert result.memory.host.peak >= cls.size
+
+
+class TestStashOps:
+    def test_pipedream_stash_swap(self):
+        job = tiny_job(system="pipedream", precision="fp32",
+                       microbatches_per_minibatch=1, n_minibatches=8)
+        base = simulate(job, strict=False)
+        plan = _plan_with(job, TensorKind.STASHED_PARAMS, Action.CPU_SWAP, stages=(0,))
+        result = simulate(job, plan, strict=False)
+        assert result.ok
+        assert result.memory.gpu(0).peak <= base.memory.gpu(0).peak
+
+
+class TestOptimizerNvmeTier:
+    def test_opt_nvme_swap_round_trips(self):
+        job = tiny_job()
+        plan = _plan_with(
+            job, TensorKind.OPTIMIZER_STATE, Action.CPU_SWAP, stages=(0,),
+            tier="nvme",
+        )
+        result = simulate(job, plan, strict=False)
+        assert result.ok
+        # NVMe-tier optimizer state never claims permanent host bytes.
+        cls = next(
+            c for c in _classes(job)
+            if c.kind is TensorKind.OPTIMIZER_STATE and c.stage == 0
+        )
+        assert result.memory.host.peak < cls.size
+
+    def test_opt_nvme_slower_than_host_tier(self):
+        job = tiny_job(n_minibatches=4)
+        host = simulate(
+            job,
+            _plan_with(job, TensorKind.OPTIMIZER_STATE, Action.CPU_SWAP,
+                       stages=(0, 1, 2, 3)),
+            strict=False,
+        )
+        nvme = simulate(
+            job,
+            _plan_with(job, TensorKind.OPTIMIZER_STATE, Action.CPU_SWAP,
+                       stages=(0, 1, 2, 3), tier="nvme"),
+            strict=False,
+        )
+        assert nvme.minibatch_time >= host.minibatch_time
+
+
+class TestPartialD2D:
+    def test_partial_stripe_swaps_only_its_share(self):
+        from repro.core.striping import build_stripe_plan
+
+        job = tiny_job(microbatch_size=8, microbatches_per_minibatch=6)
+        classes = _classes(job)
+        cls = max(
+            (c for c in classes
+             if c.kind is TensorKind.ACTIVATION and c.stage == 0),
+            key=lambda c: c.size,
+        )
+        half = cls.size // 2
+        stripe = build_stripe_plan(
+            job.server.topology, 0,
+            {dev: 1 * GiB for dev in (1, 2, 3)}, half,
+        )
+        plan = empty_plan(job.n_stages)
+        plan.assign(PlanEntry(cls=cls, action=Action.D2D_SWAP, stripe=stripe))
+        cap = 32 * MiB
+        result = simulate(job, plan, strict=False, gpu_capacity_override=cap)
+        assert result.ok
+        full_stripe = build_stripe_plan(
+            job.server.topology, 0,
+            {dev: 1 * GiB for dev in (1, 2, 3)}, cls.size,
+        )
+        full_plan = empty_plan(job.n_stages)
+        full_plan.assign(
+            PlanEntry(cls=cls, action=Action.D2D_SWAP, stripe=full_stripe)
+        )
+        full = simulate(job, full_plan, strict=False, gpu_capacity_override=cap)
+        # Partial parks fewer bytes on importers than the full swap.
+        partial_imported = sum(
+            result.memory.gpu(d).peak for d in (1, 2, 3)
+        )
+        full_imported = sum(full.memory.gpu(d).peak for d in (1, 2, 3))
+        assert partial_imported < full_imported
+        # And the books still balance.
+        from repro.sim.audit import audit_simulation
+
+        assert audit_simulation(result).ok

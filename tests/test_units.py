@@ -1,0 +1,25 @@
+"""Unit helpers: formatting and constants."""
+
+from repro import units
+
+
+def test_byte_constants_are_consistent():
+    assert units.GiB == 1024 * units.MiB == 1024 * 1024 * units.KiB
+    assert units.GB == 1000 * units.MB == 10**9
+
+
+def test_fmt_bytes_picks_natural_suffix():
+    assert units.fmt_bytes(3 * units.GiB) == "3.00 GiB"
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(1536 * units.KiB) == "1.50 MiB"
+    assert units.fmt_bytes(2 * units.TiB) == "2.00 TiB"
+
+
+def test_fmt_time_picks_natural_unit():
+    assert units.fmt_time(2.5) == "2.50 s"
+    assert units.fmt_time(0.0042) == "4.20 ms"
+    assert units.fmt_time(37e-6) == "37.0 us"
+
+
+def test_fmt_bandwidth_in_gbps():
+    assert units.fmt_bandwidth(25 * units.GBps) == "25.0 GB/s"
