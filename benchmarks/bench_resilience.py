@@ -1,0 +1,55 @@
+"""Goodput under failure pressure (resilience extension).
+
+Not a paper figure: the paper trains on a healthy server.  This
+benchmark trains the Figure-8 GPT/DAPPLE scenario through seeded
+fault campaigns at increasing failure rates and reports how goodput
+degrades relative to the fault-free run — the curve an operator
+needs when sizing checkpoint intervals.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.resilience import pivot, resilience_sweep
+from repro.hardware import dgx1_server
+from repro.job import dapple_job
+from repro.models import gpt_variant
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_goodput_vs_mtbf(once):
+    """Goodput vs. MTBF for MPress on GPT-5.3B/DAPPLE (DGX-1)."""
+
+    def measure():
+        job = dapple_job(gpt_variant(5.3), dgx1_server())
+        return resilience_sweep(
+            job,
+            system="mpress",
+            mtbf_grid=(4.0, 1.0, 0.25),
+            trials=1,
+            seed=42,
+        )
+
+    cells = once(measure)
+    rows = []
+    for mtbf, group in sorted(pivot(cells).items(), reverse=True):
+        cell = group[0]
+        rows.append([
+            f"{mtbf:.2f}x",
+            str(cell.n_faults),
+            str(cell.n_failures),
+            f"{cell.goodput_samples_per_second:.1f}",
+            f"{100 * cell.goodput_ratio:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["MTBF (makespans)", "faults", "failures", "goodput (samples/s)",
+         "vs fault-free"],
+        rows,
+        title="Resilience: goodput vs. failure pressure (GPT-5.3B, mpress)",
+    ))
+    assert all(cell.ok for cell in cells)
+    # Any campaign that actually perturbed the run costs goodput.
+    for cell in cells:
+        if cell.n_faults:
+            assert cell.goodput_ratio <= 1.0 + 1e-9

@@ -30,6 +30,9 @@ __all__ = [
     "simulate",
     "MPress",
     "run_zero",
+    "FaultSpec",
+    "FaultSchedule",
+    "random_schedule",
 ]
 
 
@@ -47,4 +50,8 @@ def __getattr__(name):
         from repro.baselines.zero import run_zero
 
         return run_zero
+    if name in ("FaultSpec", "FaultSchedule", "random_schedule"):
+        from repro import faults
+
+        return getattr(faults, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -2,5 +2,7 @@
 
 from repro.analysis.metrics import throughput_summary, speedup
 from repro.analysis.reporting import format_table, format_series
+from repro.analysis.resilience import resilience_sweep
 
-__all__ = ["throughput_summary", "speedup", "format_table", "format_series"]
+__all__ = ["throughput_summary", "speedup", "format_table", "format_series",
+           "resilience_sweep"]

@@ -1,0 +1,151 @@
+"""Resilience sweeps: goodput as a function of failure pressure.
+
+For each mean-time-between-failures value on a grid, generate a
+seeded fault campaign (Poisson arrivals over the fault-free run's
+makespan), train through it, and record the resulting goodput next
+to the fault-free throughput.  One row per (MTBF, trial) cell, CSV
+export included, following :mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.report import ResilienceReport
+from repro.faults.spec import random_schedule
+from repro.job import TrainingJob
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One (MTBF, trial) measurement of a fault campaign."""
+
+    mtbf: float
+    trial: int
+    seed: int
+    n_faults: int
+    n_failures: int
+    ok: bool
+    fault_free_samples_per_second: float
+    goodput_samples_per_second: float
+    recovery_seconds: float
+    lost_seconds: float
+    makespan: float
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Goodput as a fraction of fault-free throughput."""
+        if self.fault_free_samples_per_second <= 0:
+            return 0.0
+        return self.goodput_samples_per_second / self.fault_free_samples_per_second
+
+
+FIELDS = ["mtbf", "trial", "seed", "n_faults", "n_failures", "ok",
+          "fault_free_samples_per_second", "goodput_samples_per_second",
+          "goodput_ratio", "recovery_seconds", "lost_seconds", "makespan"]
+
+
+def resilience_sweep(
+    job: TrainingJob,
+    system: str = "mpress",
+    mtbf_grid: Sequence[float] = (2.0, 1.0, 0.5),
+    trials: int = 1,
+    seed: int = 0,
+    restart_latency: Optional[float] = None,
+) -> List[ResilienceCell]:
+    """Goodput vs. MTBF grid for one training job.
+
+    ``mtbf_grid`` values are multiples of the fault-free makespan, so
+    ``1.0`` means one expected fault per run regardless of model
+    scale.  Each (MTBF, trial) cell draws its campaign from
+    ``seed + cell index`` — the whole sweep is reproducible from one
+    seed.  The plan is built once, fault-free; every campaign replays
+    it, so cells differ only in the injected faults.
+    """
+    from repro.core.mpress import run_system
+    from repro.sim.executor import simulate
+
+    baseline = run_system(job, system)
+    if not baseline.ok:
+        raise RuntimeError(f"fault-free {system} run is OOM; nothing to sweep")
+    horizon = baseline.simulation.makespan
+    fault_free = baseline.samples_per_second
+
+    cells: List[ResilienceCell] = []
+    index = 0
+    for mtbf in mtbf_grid:
+        for trial in range(trials):
+            cell_seed = seed + index
+            index += 1
+            schedule = random_schedule(
+                seed=cell_seed,
+                n_devices=job.server.n_gpus,
+                horizon=horizon,
+                mtbf=mtbf * horizon,
+                restart_latency=restart_latency,
+            )
+            result = simulate(job, baseline.plan, strict=True, faults=schedule)
+            report: Optional[ResilienceReport] = result.resilience
+            cells.append(
+                ResilienceCell(
+                    mtbf=mtbf,
+                    trial=trial,
+                    seed=cell_seed,
+                    n_faults=len(schedule),
+                    n_failures=len(report.failures) if report else 0,
+                    ok=result.ok,
+                    fault_free_samples_per_second=fault_free,
+                    # A campaign that drew no faults runs at full
+                    # throughput — its goodput is the plain rate.
+                    goodput_samples_per_second=(
+                        0.0 if not result.ok
+                        else report.goodput_samples_per_second if report
+                        else result.samples_per_second
+                    ),
+                    recovery_seconds=report.total_recovery_seconds if report else 0.0,
+                    lost_seconds=report.lost_seconds if report else 0.0,
+                    makespan=result.makespan if result.ok else 0.0,
+                )
+            )
+    return cells
+
+
+def to_csv(cells: Sequence[ResilienceCell]) -> str:
+    """Render resilience cells as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for cell in cells:
+        writer.writerow({
+            "mtbf": f"{cell.mtbf:.3f}",
+            "trial": cell.trial,
+            "seed": cell.seed,
+            "n_faults": cell.n_faults,
+            "n_failures": cell.n_failures,
+            "ok": int(cell.ok),
+            "fault_free_samples_per_second":
+                f"{cell.fault_free_samples_per_second:.3f}",
+            "goodput_samples_per_second":
+                f"{cell.goodput_samples_per_second:.3f}",
+            "goodput_ratio": f"{cell.goodput_ratio:.4f}",
+            "recovery_seconds": f"{cell.recovery_seconds:.6f}",
+            "lost_seconds": f"{cell.lost_seconds:.6f}",
+            "makespan": f"{cell.makespan:.6f}",
+        })
+    return buffer.getvalue()
+
+
+def save_csv(cells: Sequence[ResilienceCell], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_csv(cells))
+
+
+def pivot(cells: Sequence[ResilienceCell]) -> Dict[float, List[ResilienceCell]]:
+    """mtbf -> its trial cells, for goodput-vs-MTBF curves."""
+    table: Dict[float, List[ResilienceCell]] = {}
+    for cell in cells:
+        table.setdefault(cell.mtbf, []).append(cell)
+    return table

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro run --model bert-0.64 --server dgx1 --system mpress
+    python -m repro run --model gpt-5.3 --server dgx1 --faults seed:42
     python -m repro profile --model gpt-10.3 --server dgx1
     python -m repro plan --model gpt-20.4 --server dgx1 --out plan.json
     python -m repro zero --model gpt-25.5 --server dgx2 --variant infinity
@@ -76,6 +77,28 @@ def _default_pipeline(model_spec: str) -> str:
 # -- subcommands --------------------------------------------------------------
 
 
+def _resolve_faults(spec: str, job: TrainingJob, horizon: float):
+    """``--faults`` argument: a JSON schedule path or ``seed:N``.
+
+    ``seed:N`` generates a random campaign over the fault-free run's
+    makespan, so the injected windows land inside the training run.
+    """
+    from repro.faults import load_faults, random_schedule
+
+    if spec.startswith("seed:"):
+        try:
+            seed = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise ConfigurationError(f"--faults {spec!r}: seed must be an integer")
+        return random_schedule(seed=seed, n_devices=job.server.n_gpus, horizon=horizon)
+    try:
+        return load_faults(spec)
+    except OSError as error:
+        raise ConfigurationError(f"--faults {spec!r}: {error}")
+    except (ValueError, KeyError) as error:
+        raise ConfigurationError(f"--faults {spec!r}: not a fault schedule ({error})")
+
+
 def _cmd_run(args) -> int:
     import dataclasses
 
@@ -83,17 +106,22 @@ def _cmd_run(args) -> int:
     from repro.core.planner import baseline_config
     from repro.core.serialization import save_plan
     from repro.sim.chrome_trace import save_chrome_trace
+    from repro.sim.executor import simulate
 
     job = _build_job(args)
     custom_knobs = getattr(args, "no_striping", False) or (
         getattr(args, "mapping", "auto") != "auto"
     )
-    if custom_knobs and args.system != "none":
-        config = dataclasses.replace(
-            baseline_config(args.system),
-            striping=not args.no_striping,
-            mapping_mode=args.mapping,
-        )
+    config = None
+    if args.system != "none":
+        config = baseline_config(args.system)
+        if custom_knobs:
+            config = dataclasses.replace(
+                config,
+                striping=not args.no_striping,
+                mapping_mode=args.mapping,
+            )
+    if config is not None:
         result = MPress(job, config).run()
     else:
         result = run_system(job, args.system)
@@ -105,13 +133,37 @@ def _cmd_run(args) -> int:
         peaks = result.simulation.peak_memory_per_gpu
         print(f"  per-GPU peaks: {' '.join(fmt_bytes(p) for p in peaks)}")
         print(result.plan.summary())
+    faulted = None
+    faults = None
+    if args.faults and result.ok:
+        faults = _resolve_faults(args.faults, job, result.simulation.makespan)
+        # Re-plan for the degraded machine, then train through the
+        # fault campaign; the fault-free run above is the yardstick.
+        if config is not None:
+            faulted = MPress(job, config, faults=faults).run().simulation
+        else:
+            faulted = simulate(job, result.plan, strict=True, faults=faults)
+        if faulted.ok and faulted.resilience is not None:
+            print(f"  --- fault campaign ({args.faults}) ---")
+            print("  " + faulted.resilience.summary().replace("\n", "\n  "))
+            print(f"  fault-free: {result.samples_per_second:.2f} samples/s | "
+                  f"goodput: "
+                  f"{faulted.resilience.goodput_samples_per_second:.2f} samples/s")
+        elif not faulted.ok:
+            print("  fault campaign: OUT OF MEMORY")
+        if args.faults_report and faulted.resilience is not None:
+            with open(args.faults_report, "w") as handle:
+                handle.write(faulted.resilience.to_json())
+            print(f"  resilience report written to {args.faults_report}")
     if args.save_plan:
         save_plan(result.plan, args.save_plan)
         print(f"  plan written to {args.save_plan}")
     if args.chrome_trace and result.ok:
-        save_chrome_trace(result.simulation.trace, args.chrome_trace)
+        traced = faulted if faulted is not None and faulted.ok else result.simulation
+        save_chrome_trace(traced.trace, args.chrome_trace, faults=faults)
         print(f"  chrome trace written to {args.chrome_trace}")
-    return 0 if result.ok else 1
+    ok = result.ok and (faulted is None or faulted.ok)
+    return 0 if ok else 1
 
 
 def _cmd_profile(args) -> int:
@@ -219,6 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="device-mapping search mode")
     run.add_argument("--save-plan", default=None, metavar="PATH")
     run.add_argument("--chrome-trace", default=None, metavar="PATH")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault campaign: a JSON schedule path or seed:N")
+    run.add_argument("--faults-report", default=None, metavar="PATH",
+                     help="write the ResilienceReport JSON here")
     run.set_defaults(func=_cmd_run)
 
     profile = sub.add_parser("profile", help="per-stage memory demands")

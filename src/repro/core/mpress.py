@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.core.plan import MemorySavingPlan
 from repro.core.planner import Planner, PlannerConfig, PlannerReport, baseline_config
+from repro.faults.spec import FaultSchedule
 from repro.job import TrainingJob
 from repro.sim.executor import SimulationResult, simulate
 
@@ -42,16 +43,22 @@ class MPressResult:
 class MPress:
     """The complete system: plan once offline, then train."""
 
-    def __init__(self, job: TrainingJob, config: Optional[PlannerConfig] = None):
+    def __init__(
+        self,
+        job: TrainingJob,
+        config: Optional[PlannerConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+    ):
         self.job = job
         self.config = config if config is not None else PlannerConfig()
+        self.faults = faults
         self._plan: Optional[MemorySavingPlan] = None
         self._report: Optional[PlannerReport] = None
 
     def build_plan(self) -> MemorySavingPlan:
         """Run MPress Static (profiler/planner/rewriter/emulator loop)."""
         if self._plan is None:
-            planner = Planner(self.job, self.config)
+            planner = Planner(self.job, self.config, faults=self.faults)
             self._plan, self._report = planner.build()
         return self._plan
 
@@ -69,6 +76,7 @@ class MPress:
             plan,
             strict=True,
             prefetch_lead=self.config.prefetch_lead,
+            faults=self.faults,
         )
         return MPressResult(
             job=self.job,
@@ -78,19 +86,23 @@ class MPress:
         )
 
 
-def run_system(job: TrainingJob, system: str) -> MPressResult:
+def run_system(
+    job: TrainingJob, system: str, faults: Optional[FaultSchedule] = None
+) -> MPressResult:
     """Run one of the paper's five system configurations.
 
     ``system``: "none" (the original PipeDream/DAPPLE, no memory
     optimization), "recomputation", "gpu-cpu-swap", "d2d-only"
     (MPress with D2D swap only), or "mpress" (all three techniques).
+    An optional fault schedule is injected into the training run (and
+    informs planning for the planner-backed systems).
     """
     if system == "none":
         from repro.core.plan import empty_plan
         from repro.core.profiler import Profiler
 
         plan = empty_plan(job.n_stages)
-        simulation = simulate(job, plan, strict=True)
+        simulation = simulate(job, plan, strict=True, faults=faults)
         profile = Profiler(job).run()
         report = PlannerReport(
             profile=profile,
@@ -101,4 +113,4 @@ def run_system(job: TrainingJob, system: str) -> MPressResult:
         return MPressResult(
             job=job, plan=plan, planner_report=report, simulation=simulation
         )
-    return MPress(job, baseline_config(system)).run()
+    return MPress(job, baseline_config(system), faults=faults).run()

@@ -17,6 +17,13 @@ The planner combines D2D swap, GPU-CPU swap, and recomputation:
 Disabling techniques through :class:`PlannerConfig` yields the
 paper's baselines: recomputation-only, GPU-CPU-swap-only, and the
 D2D-only MPress variant of Figure 7.
+
+Given a fault profile (:class:`~repro.faults.spec.FaultSchedule`),
+the planner plans for the degraded machine instead of the nominal
+one: D2D stripes avoid parking state on degraded peers, CPU-swap
+cost estimates use the derated PCIe bandwidth, and stage periods use
+the derated compute speed — so congestion/capacity checks run
+against what the hardware will actually deliver.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.core.plan import Action, MemorySavingPlan
 from repro.core.profiler import Profiler, ProfileStats
 from repro.core.rewriter import Assignment, Rewriter
 from repro.core.striping import StripePlan
+from repro.faults.spec import FaultSchedule
 from repro.graph.tensor import TensorClass, TensorKind
 from repro.job import TrainingJob
 
@@ -69,14 +77,30 @@ class PlannerReport:
     refine_iterations: int = 0
     accepted_upgrades: int = 0
     emulation_times: List[float] = field(default_factory=list)
+    # Fault-aware planning (set when a fault profile was supplied).
+    fault_profile: Optional[FaultSchedule] = None
+    avoided_importers: List[int] = field(default_factory=list)
+    pcie_derates: Dict[int, float] = field(default_factory=dict)
+    compute_derates: Dict[int, float] = field(default_factory=dict)
 
 
 class Planner:
     """Builds a memory-saving plan for one training job."""
 
-    def __init__(self, job: TrainingJob, config: PlannerConfig = PlannerConfig()):
+    def __init__(
+        self,
+        job: TrainingJob,
+        config: PlannerConfig = PlannerConfig(),
+        faults: Optional[FaultSchedule] = None,
+    ):
         self.job = job
         self.config = config
+        if faults is not None and faults.is_empty:
+            faults = None
+        self.faults = faults
+        self._avoid_importers = (
+            faults.degraded_devices() if faults is not None else set()
+        )
         self._capacity = job.server.gpu_memory
         self._target = int(self._capacity * (1.0 - config.fit_margin))
 
@@ -102,6 +126,19 @@ class Planner:
             mapping=mapping,
             feasible=feasible,
         )
+        if self.faults is not None:
+            report.fault_profile = self.faults
+            report.avoided_importers = sorted(self._avoid_importers)
+            report.pcie_derates = {
+                dev: self.faults.pcie_factor(dev)
+                for dev in device_map
+                if self.faults.pcie_factor(dev) < 1.0
+            }
+            report.compute_derates = {
+                dev: self.faults.compute_factor(dev)
+                for dev in device_map
+                if self.faults.compute_factor(dev) < 1.0
+            }
 
         baseline_report = emulator.run(plan)
         report.emulation_times.append(baseline_report.minibatch_time)
@@ -408,11 +445,17 @@ class Planner:
 
     def _stage_period(self, stage: int) -> float:
         device = self._device_map[stage]
-        return self.job.forward_time(stage, device) + self.job.backward_time(stage, device)
+        period = self.job.forward_time(stage, device) + self.job.backward_time(stage, device)
+        if self.faults is not None:
+            period /= self.faults.compute_factor(device)
+        return period
 
     def _swap_seconds(self, cls: TensorClass) -> float:
         """Per-microbatch PCIe seconds this class adds when CPU-swapped."""
-        round_trip = 2.0 * cls.size / self.job.server.pcie.sustained_bandwidth
+        bandwidth = self.job.server.pcie.sustained_bandwidth
+        if self.faults is not None:
+            bandwidth *= self.faults.pcie_factor(self._device_map[cls.stage])
+        round_trip = 2.0 * cls.size / bandwidth
         if cls.kind is TensorKind.OPTIMIZER_STATE:
             # Optimizer swaps happen once per minibatch.
             return round_trip / self.job.microbatches_per_minibatch
@@ -565,7 +608,12 @@ class Planner:
         if not budgets:
             return None
         instances = max(1, cls.instances)
-        per_instance = {dev: amount // instances for dev, amount in budgets.items()}
+        # State parked on a degraded peer would ride a slow or soon-dead
+        # resource — the fault profile's devices are off limits.
+        per_instance = {
+            dev: (0 if dev in self._avoid_importers else amount // instances)
+            for dev, amount in budgets.items()
+        }
         stripe = cost_model.candidate_stripe(
             cls, per_instance, striping=self.config.striping
         )

@@ -1,0 +1,35 @@
+"""Fault injection and resilience modelling.
+
+Describe timed hardware faults (:mod:`repro.faults.spec`), inject
+them into a simulation (:mod:`repro.faults.inject`), and account for
+their cost (:mod:`repro.faults.report`).  Entry points::
+
+    from repro.faults import FaultKind, FaultSpec, FaultSchedule, random_schedule
+
+    faults = random_schedule(seed=42, n_devices=8, horizon=30.0)
+    result = simulate(job, plan, faults=faults)
+    print(result.resilience.summary())
+"""
+
+from repro.faults.spec import (
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    load_faults,
+    random_schedule,
+    save_faults,
+)
+from repro.faults.report import FailureRecord, ResilienceReport
+from repro.faults.inject import FaultInjector
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultSchedule",
+    "FailureRecord",
+    "ResilienceReport",
+    "FaultInjector",
+    "random_schedule",
+    "save_faults",
+    "load_faults",
+]

@@ -1,0 +1,112 @@
+"""Resilience accounting for one faulted simulation run.
+
+The :class:`ResilienceReport` is the fault-injection counterpart of
+:class:`~repro.sim.executor.SimulationResult`: where the simulation
+result reports steady-state throughput, the resilience report
+reports *goodput* — samples per wall-clock second including every
+recovery — together with the per-failure recovery timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.faults.spec import FaultSchedule
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One device failure and its checkpoint-restore recovery.
+
+    Recovery time decomposes into the fixed ``restart_latency``, the
+    ``reload_seconds`` spent re-loading the device's resident state
+    over PCIe, and ``lost_seconds`` of re-executed work since the
+    last completed checkpoint (minibatch boundary).
+    """
+
+    device: int
+    time: float
+    lost_seconds: float
+    restart_latency: float
+    reload_bytes: int
+    reload_seconds: float
+    resume_time: float
+
+    @property
+    def recovery_seconds(self) -> float:
+        return self.resume_time - self.time
+
+    def to_dict(self) -> Dict:
+        return {
+            "device": self.device,
+            "time": self.time,
+            "lost_seconds": self.lost_seconds,
+            "restart_latency": self.restart_latency,
+            "reload_bytes": self.reload_bytes,
+            "reload_seconds": self.reload_seconds,
+            "resume_time": self.resume_time,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """Goodput and recovery timeline of one faulted run."""
+
+    schedule: FaultSchedule
+    makespan: float
+    samples: int
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def total_recovery_seconds(self) -> float:
+        return sum(f.recovery_seconds for f in self.failures)
+
+    @property
+    def lost_seconds(self) -> float:
+        return sum(f.lost_seconds for f in self.failures)
+
+    @property
+    def goodput_samples_per_second(self) -> float:
+        """Samples per second over the whole run, recoveries included."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.samples / self.makespan
+
+    def recovery_timeline(self) -> List[Tuple[float, float, int]]:
+        """Sorted (start, end, device) outage windows."""
+        return sorted((f.time, f.resume_time, f.device) for f in self.failures)
+
+    def to_json(self) -> str:
+        """Deterministic JSON — identical seeds yield identical bytes."""
+        return json.dumps(
+            {
+                "schedule": json.loads(self.schedule.to_json()),
+                "makespan": self.makespan,
+                "samples": self.samples,
+                "goodput_samples_per_second": self.goodput_samples_per_second,
+                "total_recovery_seconds": self.total_recovery_seconds,
+                "lost_seconds": self.lost_seconds,
+                "failures": [f.to_dict() for f in self.failures],
+            },
+            sort_keys=True,
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"faults: {len(self.schedule)} injected, "
+            f"{len(self.failures)} device failures",
+            f"goodput: {self.goodput_samples_per_second:.2f} samples/s "
+            f"over {self.makespan:.2f}s",
+            f"recovery: {self.total_recovery_seconds:.2f}s total "
+            f"({self.lost_seconds:.2f}s lost work)",
+        ]
+        for f in self.failures:
+            lines.append(
+                f"  gpu{f.device} failed at {f.time:.2f}s: "
+                f"restart {f.restart_latency:.2f}s + "
+                f"reload {f.reload_seconds:.2f}s ({f.reload_bytes} B) + "
+                f"redo {f.lost_seconds:.2f}s -> resumed {f.resume_time:.2f}s"
+            )
+        return "\n".join(lines)

@@ -6,6 +6,12 @@ any correct execution must satisfy — causality between matching
 forward/backward passes, swap pairing, non-overlapping compute per
 device, and memory conservation.  They run in tests and are available
 to users debugging custom plans.
+
+Faulted runs (a :class:`~repro.faults.report.ResilienceReport` on the
+result) get two additional invariants: no compute may start inside a
+device-failure outage window, and each recovery's reload bytes must
+match the state actually resident on the failed device at the instant
+it died.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.graph.tensor import TensorKind, tensor_classes_for
+from repro.hardware.bandwidth import transfer_time
 from repro.sim.executor import SimulationResult
 
 
@@ -43,6 +50,9 @@ def audit_simulation(result: SimulationResult) -> AuditReport:
     report.extend(_audit_no_compute_overlap(result))
     report.extend(_audit_swap_pairing(result))
     report.extend(_audit_memory_books(result))
+    if result.resilience is not None:
+        report.extend(_audit_outage_windows(result))
+        report.extend(_audit_recovery_reload(result))
     return report
 
 
@@ -104,6 +114,51 @@ def _audit_swap_pairing(result: SimulationResult) -> List[str]:
         if outs[device] != ins[device]:
             issues.append(
                 f"device {device}: {outs[device]} swap-outs vs {ins[device]} swap-ins"
+            )
+    return issues
+
+
+def _audit_outage_windows(result: SimulationResult) -> List[str]:
+    """No compute starts inside a device-failure outage window.
+
+    A failure stalls the whole pipeline (synchronous checkpoint
+    restore), so between the failure instant and the recorded resume
+    time no task on *any* device may begin — the dead device most of
+    all.
+    """
+    issues = []
+    for failure in result.resilience.failures:
+        for event in result.trace.events:
+            if event.kind not in ("fwd", "bwd", "opt", "recompute"):
+                continue
+            if failure.time - 1e-12 < event.start < failure.resume_time - 1e-9:
+                issues.append(
+                    f"{event.name} starts at {event.start:.6f} inside the "
+                    f"gpu{failure.device} outage "
+                    f"[{failure.time:.6f}, {failure.resume_time:.6f})"
+                )
+    return issues
+
+
+def _audit_recovery_reload(result: SimulationResult) -> List[str]:
+    """Recovery reload matches the state resident when the device died."""
+    issues = []
+    for failure in result.resilience.failures:
+        book = result.memory.gpu(failure.device)
+        resident = sum(book.composition_at(failure.time).values())
+        if failure.reload_bytes != resident:
+            issues.append(
+                f"gpu{failure.device} recovery reloads {failure.reload_bytes} "
+                f"bytes but {resident} were resident at failure time "
+                f"{failure.time:.6f}"
+            )
+        expected = transfer_time(
+            failure.reload_bytes, result.job.server.pcie, lanes=1
+        )
+        if abs(failure.reload_seconds - expected) > 1e-9:
+            issues.append(
+                f"gpu{failure.device} reload time {failure.reload_seconds:.9f}s "
+                f"does not match PCIe transfer model ({expected:.9f}s)"
             )
     return issues
 

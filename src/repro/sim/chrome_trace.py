@@ -3,6 +3,8 @@
 Open the produced JSON in ``chrome://tracing`` (or Perfetto) to see
 the pipeline execution the way the paper draws Figure 1: one row per
 simulated resource, compute boxes interleaved with swap transfers.
+Pass the fault schedule of a faulted run to overlay the injected
+fault windows on their devices.
 
 Times are exported in microseconds, as the format expects.
 """
@@ -23,6 +25,7 @@ _KIND_THREADS = {
     "comm": "nvlink",
     "swap_out": "swap",
     "swap_in": "swap",
+    "recovery": "faults",
 }
 
 _KIND_COLORS = {
@@ -33,7 +36,11 @@ _KIND_COLORS = {
     "comm": "grey",
     "swap_out": "thread_state_iowait",
     "swap_in": "thread_state_running",
+    "recovery": "terrible",
 }
+
+# pid for fault windows that touch no particular device (NVMe stalls).
+_FAULT_PID = -1
 
 
 def trace_to_events(trace: Trace) -> List[Dict]:
@@ -58,12 +65,46 @@ def trace_to_events(trace: Trace) -> List[Dict]:
     return events
 
 
-def trace_to_chrome(trace: Trace, device_names: Dict[int, str] = None) -> Dict:
+def fault_events(faults) -> List[Dict]:
+    """Chrome events marking every injected fault window.
+
+    ``faults`` is a :class:`~repro.faults.spec.FaultSchedule`; windows
+    land on the ``faults`` thread of the device they degrade, device
+    failures as zero-duration instants followed by nothing (the
+    recovery box comes from the trace itself).
+    """
+    events: List[Dict] = []
+    for fault in faults:
+        pid = fault.device if fault.device is not None else _FAULT_PID
+        record = {
+            "name": fault.kind.value,
+            "cat": "fault",
+            "ph": "X",
+            "ts": fault.start * 1e6,
+            "dur": max(0.0, fault.duration) * 1e6,
+            "pid": pid,
+            "tid": "faults",
+            "cname": "terrible",
+            "args": {"kind": fault.kind.value, "factor": fault.factor},
+        }
+        if fault.peer is not None:
+            record["args"]["peer"] = fault.peer
+        events.append(record)
+    return events
+
+
+def trace_to_chrome(trace: Trace, device_names: Dict[int, str] = None,
+                    faults=None) -> Dict:
     """Full chrome-trace document (events + process metadata)."""
     events = trace_to_events(trace)
-    devices = sorted({e.device for e in trace.events})
+    if faults is not None:
+        events.extend(fault_events(faults))
+    devices = sorted({e["pid"] for e in events})
     for device in devices:
-        label = (device_names or {}).get(device, f"gpu{device}")
+        if device == _FAULT_PID:
+            label = "faults"
+        else:
+            label = (device_names or {}).get(device, f"gpu{device}")
         events.append({
             "name": "process_name",
             "ph": "M",
@@ -73,7 +114,8 @@ def trace_to_chrome(trace: Trace, device_names: Dict[int, str] = None) -> Dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def save_chrome_trace(trace: Trace, path: str, device_names: Dict[int, str] = None) -> None:
+def save_chrome_trace(trace: Trace, path: str, device_names: Dict[int, str] = None,
+                      faults=None) -> None:
     """Write the trace to ``path`` for chrome://tracing."""
     with open(path, "w") as handle:
-        json.dump(trace_to_chrome(trace, device_names), handle)
+        json.dump(trace_to_chrome(trace, device_names, faults=faults), handle)

@@ -12,6 +12,20 @@ relies on — Section III-E):
   arbitrate among whichever transfers are pending.
 * The engine advances time event by event until no task can run.
 
+Fault modelling hooks (used by :mod:`repro.faults`):
+
+* Every stream has a *rate* — the speed the underlying resource
+  currently delivers, as a fraction of nominal.  ``task.duration``
+  is nominal work; wall-clock time is ``duration / rate``.  Changing
+  a stream's rate mid-flight rescales the *remaining* work of its
+  running task, so a slowdown window opening (or closing) halfway
+  through a kernel charges exactly the slowed portion.
+* :meth:`Engine.schedule_callback` runs arbitrary control logic at a
+  wall-clock instant (fault windows opening/closing, failures).
+* :meth:`Engine.stall_all` pushes every running task's completion
+  out by a fixed delay — a global pause, which is exactly what a
+  synchronous checkpoint-restore does to a pipeline.
+
 A schedule that can never complete (a dependency cycle across
 streams) is detected and reported as a :class:`ScheduleError` instead
 of hanging.
@@ -27,6 +41,10 @@ from typing import Callable, List, Optional, Sequence
 from repro.errors import ScheduleError, SimulationError
 
 Hook = Callable[["Task", float], None]
+
+# Heap entry discriminators: task completions vs control callbacks.
+_TASK = 0
+_CALL = 1
 
 
 class TaskState(enum.Enum):
@@ -50,6 +68,8 @@ class Task:
         "stream",
         "dependents",
         "tag",
+        "scheduled_end",
+        "generation",
     )
 
     def __init__(
@@ -74,6 +94,11 @@ class Task:
         self.stream = None  # set by Stream.submit
         self.dependents: List[Task] = []
         self.tag = tag
+        # Currently-scheduled completion instant and its validity
+        # counter; a reschedule bumps the generation so the stale
+        # heap entry is skipped when popped.
+        self.scheduled_end: Optional[float] = None
+        self.generation = 0
         for dep in deps:
             self.add_dep(dep)
 
@@ -101,6 +126,10 @@ class Engine:
         self._streams: List = []
         self._n_done = 0
         self._n_submitted = 0
+        self._last_finish = 0.0
+        # End of the latest global stall; rate changes that land
+        # inside a stall must not treat the paused span as work.
+        self._frozen_until = 0.0
 
     # -- wiring ----------------------------------------------------------
 
@@ -110,6 +139,73 @@ class Engine:
 
     def note_submission(self, task: Task) -> None:
         self._n_submitted += 1
+
+    @property
+    def work_remaining(self) -> bool:
+        """True while submitted tasks have not all finished."""
+        return self._n_done < self._n_submitted
+
+    # -- control events --------------------------------------------------
+
+    def schedule_callback(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` when simulated time reaches ``time``.
+
+        Control callbacks (fault windows, failures) fire between task
+        completions; a callback scheduled in the past fires at the
+        current instant.
+        """
+        when = max(time, self.now)
+        heapq.heappush(self._heap, (when, next(self._counter), _CALL, fn, 0))
+
+    def set_stream_rate(self, stream, rate: float) -> None:
+        """Change a stream's delivery rate, rescaling its running task.
+
+        The running task's remaining *work* is preserved: remaining
+        wall-clock time is recomputed at the new rate from the current
+        instant.  Queued tasks simply start at the new rate later.
+        """
+        if rate <= 0:
+            raise SimulationError(f"stream {stream.name}: non-positive rate {rate}")
+        old = stream.rate
+        if old == rate:
+            return
+        stream.rate = rate
+        running = stream.running_task()
+        if running is not None and running.state is TaskState.RUNNING:
+            # Work only accrues once any global stall has lifted; the
+            # stalled span is a pause, not progress to be rescaled.
+            anchor = max(self.now, self._frozen_until)
+            remaining_wall = max(0.0, running.scheduled_end - anchor)
+            remaining_work = remaining_wall * old
+            self._reschedule(running, anchor + remaining_work / rate)
+
+    def stall_all(self, delay: float) -> None:
+        """Delay every running task's completion by ``delay`` seconds.
+
+        Because task starts only happen at completion instants, no
+        task can start inside the stall window: the entire remaining
+        schedule shifts right by exactly ``delay`` — the behaviour of
+        a synchronous checkpoint-restore pause.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative stall delay {delay}")
+        if delay == 0:
+            return
+        self._frozen_until = max(self._frozen_until, self.now) + delay
+        for entry in list(self._heap):
+            _time, _seq, kind, payload, gen = entry
+            if kind != _TASK:
+                continue
+            task = payload
+            if gen == task.generation and task.state is TaskState.RUNNING:
+                self._reschedule(task, task.scheduled_end + delay)
+
+    def _reschedule(self, task: Task, new_end: float) -> None:
+        task.generation += 1
+        task.scheduled_end = new_end
+        heapq.heappush(
+            self._heap, (new_end, next(self._counter), _TASK, task, task.generation)
+        )
 
     # -- execution -------------------------------------------------------
 
@@ -121,12 +217,17 @@ class Engine:
         """
         self._kick_all()
         while self._heap:
-            time, _, task = heapq.heappop(self._heap)
+            time, _, kind, payload, gen = heapq.heappop(self._heap)
+            if kind == _TASK and gen != payload.generation:
+                continue  # superseded by a reschedule
             if until is not None and time > until:
                 self.now = until
                 return self.now
             self.now = time
-            self._finish(task)
+            if kind == _CALL:
+                payload()
+            else:
+                self._finish(payload)
         if self._n_done != self._n_submitted:
             stuck = self._stuck_tasks()
             names = ", ".join(t.name for t in stuck[:8])
@@ -134,7 +235,9 @@ class Engine:
                 f"deadlock: {self._n_submitted - self._n_done} tasks cannot run "
                 f"(e.g. {names})"
             )
-        return self.now
+        # Trailing control callbacks (e.g. a fault window closing after
+        # the last task) must not inflate the reported makespan.
+        return self._last_finish
 
     def _kick_all(self) -> None:
         for stream in self._streams:
@@ -148,12 +251,16 @@ class Engine:
         task.start_time = self.now
         if task.on_start is not None:
             task.on_start(task, self.now)
-        heapq.heappush(self._heap, (self.now + task.duration, next(self._counter), task))
+        end = self.now + task.duration / stream.rate
+        task.scheduled_end = end
+        heapq.heappush(self._heap, (end, next(self._counter), _TASK, task, task.generation))
 
     def _finish(self, task: Task) -> None:
         task.state = TaskState.DONE
         task.end_time = self.now
         self._n_done += 1
+        if self.now > self._last_finish:
+            self._last_finish = self.now
         stream = task.stream
         stream.pop_done(task)
         if task.on_done is not None:

@@ -20,6 +20,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.plan import Action, MemorySavingPlan, empty_plan, validate_plan
 from repro.errors import OutOfMemoryError, SimulationError
+from repro.faults.inject import FaultInjector
+from repro.faults.report import ResilienceReport
+from repro.faults.spec import FaultSchedule
 from repro.graph.dataflow import ComputeNode, Program, build_program
 from repro.graph.tensor import TensorClass, TensorKind, tensor_classes_for
 from repro.hardware.bandwidth import transfer_time
@@ -56,6 +59,10 @@ class ExecOptions:
     # chunks are GPU-resident at once (a whole multi-GB blob would
     # not fit next to the working set at billion scale).
     opt_swap_chunk: int = 2 * 1024**3
+    # Timed hardware faults injected into the run (slowdowns, link
+    # degradation, device failures, NVMe stalls); None or an empty
+    # schedule reproduces the fault-free execution exactly.
+    faults: Optional[FaultSchedule] = None
 
 
 @dataclass
@@ -70,6 +77,8 @@ class SimulationResult:
     memory: MemoryModel
     trace: Trace
     minibatch_time: float
+    # Populated when the run was executed under a fault schedule.
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def samples_per_second(self) -> float:
@@ -119,6 +128,18 @@ class PipelineExecutor:
         )
         self.pinned = PinnedPool(capacity=job.server.host.memory_bytes // 2)
         self.trace = Trace()
+        self.injector: Optional[FaultInjector] = None
+        if options.faults is not None and not options.faults.is_empty:
+            self.injector = FaultInjector(
+                options.faults,
+                self.engine,
+                self.streams,
+                job,
+                self.memory,
+                self.trace,
+                record_trace=options.record_trace,
+            )
+            self.injector.arm()
 
         # (kind, stage, index) -> first/last per-layer task of the node.
         self._node_first: Dict[tuple, Task] = {}
@@ -159,6 +180,9 @@ class PipelineExecutor:
                 trace=self.trace,
                 minibatch_time=0.0,
             )
+        resilience = (
+            self.injector.build_report(makespan) if self.injector is not None else None
+        )
         return SimulationResult(
             job=self.job,
             plan=self.plan,
@@ -168,6 +192,7 @@ class PipelineExecutor:
             memory=self.memory,
             trace=self.trace,
             minibatch_time=self._minibatch_time(makespan),
+            resilience=resilience,
         )
 
     # -- hooks ----------------------------------------------------------------
@@ -986,6 +1011,7 @@ def simulate(
     strict: bool = True,
     prefetch_lead: int = 3,
     gpu_capacity_override: Optional[int] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
     """Run one simulated training job and return its outcome.
 
@@ -993,10 +1019,14 @@ def simulate(
     aborts the job (result.ok is False).  ``strict=False`` records
     the overflow instead; this is the *emulator* mode the planner
     iterates with.
+
+    ``faults`` injects a timed hardware fault schedule; the result
+    then carries a :class:`~repro.faults.report.ResilienceReport`.
     """
     options = ExecOptions(
         strict=strict,
         prefetch_lead=prefetch_lead,
         gpu_capacity_override=gpu_capacity_override,
+        faults=faults,
     )
     return PipelineExecutor(job, plan, options).run()

@@ -35,6 +35,10 @@ class Stream:
         self._queue: Deque[Task] = deque()
         self._running: Optional[Task] = None
         self.busy_time = 0.0
+        # Delivery rate as a fraction of nominal speed; fault windows
+        # (repro.faults) lower it and the engine rescales the running
+        # task's remaining work accordingly.
+        self.rate = 1.0
 
     def submit(self, task: Task) -> Task:
         if self.engine is None:
@@ -71,6 +75,10 @@ class Stream:
 
     def pending_tasks(self) -> List[Task]:
         return list(self._queue)
+
+    def running_task(self) -> Optional[Task]:
+        """The task currently occupying this stream, if any."""
+        return self._running
 
     def utilization(self, makespan: float) -> float:
         """Fraction of ``makespan`` this stream spent busy."""

@@ -82,6 +82,45 @@ class TestCommands:
         assert doc["traceEvents"]
 
 
+class TestFaultFlags:
+    def test_seeded_campaign_prints_goodput(self, capsys, tmp_path):
+        report_path = str(tmp_path / "resilience.json")
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "none",
+            "--faults", "seed:7", "--faults-report", report_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out and "goodput" in out
+        with open(report_path) as handle:
+            payload = json.load(handle)
+        assert "goodput_samples_per_second" in payload
+        assert payload["schedule"]["faults"]
+
+    def test_schedule_file_accepted(self, capsys, tmp_path):
+        from repro.faults import FaultKind, FaultSchedule, FaultSpec, save_faults
+
+        schedule = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0, duration=100.0,
+                      device=0, factor=0.5),
+        ))
+        path = str(tmp_path / "faults.json")
+        save_faults(schedule, path)
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "none", "--faults", path,
+        ])
+        assert code == 0
+        assert "fault campaign" in capsys.readouterr().out
+
+    def test_bad_seed_spec_is_config_error(self, capsys):
+        code = main([
+            "run", "--model", "bert-0.35", "--system", "none",
+            "--faults", "seed:abc",
+        ])
+        assert code == 2
+        assert "seed" in capsys.readouterr().err
+
+
 class TestPlannerKnobs:
     def test_no_striping_and_identity_mapping(self, capsys):
         code = main([

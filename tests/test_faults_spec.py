@@ -1,0 +1,184 @@
+"""Fault specification and schedule tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import (
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    load_faults,
+    random_schedule,
+    save_faults,
+)
+
+
+def _slowdown(start=1.0, duration=2.0, device=0, factor=0.5):
+    return FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=start,
+                     duration=duration, device=device, factor=factor)
+
+
+class TestFaultSpec:
+    def test_window_bounds(self):
+        fault = _slowdown(start=1.0, duration=2.0)
+        assert fault.end == pytest.approx(3.0)
+        assert fault.is_window
+        assert fault.active_at(1.0)
+        assert fault.active_at(2.9)
+        assert not fault.active_at(3.0)  # half-open
+        assert not fault.active_at(0.5)
+
+    def test_zero_length_window_is_never_active(self):
+        fault = _slowdown(duration=0.0)
+        assert fault.end == fault.start
+        assert not fault.active_at(fault.start)
+
+    def test_failure_is_not_a_window(self):
+        fault = FaultSpec(kind=FaultKind.DEVICE_FAIL, start=1.0, device=0,
+                          restart_latency=0.5)
+        assert not fault.is_window
+        assert not fault.active_at(1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _slowdown(start=-1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _slowdown(duration=-1.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_factor_out_of_range_rejected(self, factor):
+        with pytest.raises(ConfigurationError):
+            _slowdown(factor=factor)
+
+    def test_slowdown_needs_device(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0, duration=1.0,
+                      factor=0.5)
+
+    def test_link_degrade_peer_must_differ(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.0, duration=1.0,
+                      device=1, peer=1, factor=0.5)
+
+    def test_nvme_stall_needs_no_device(self):
+        fault = FaultSpec(kind=FaultKind.NVME_STALL, start=0.0, duration=1.0,
+                          factor=0.5)
+        assert fault.device is None
+
+    def test_dict_round_trip(self):
+        fault = FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.5, duration=1.0,
+                          device=2, peer=3, factor=0.7)
+        assert FaultSpec.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultSchedule:
+    def test_empty(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty
+        assert len(schedule) == 0
+        assert schedule.horizon == 0.0
+        assert schedule.compute_factor(0) == 1.0
+        assert schedule.degraded_devices() == set()
+
+    def test_queries(self):
+        fail = FaultSpec(kind=FaultKind.DEVICE_FAIL, start=5.0, device=3)
+        slow = _slowdown(device=1)
+        schedule = FaultSchedule(faults=(slow, fail))
+        assert len(schedule) == 2
+        assert schedule.windows() == [slow]
+        assert schedule.failures() == [fail]
+        assert schedule.for_device(1) == [slow]
+        assert schedule.for_device(3) == [fail]
+        assert schedule.horizon == pytest.approx(5.0)
+        assert schedule.degraded_devices() == {1, 3}
+
+    def test_compute_factor_composes_overlapping_windows(self):
+        schedule = FaultSchedule(faults=(
+            _slowdown(start=0.0, duration=4.0, device=0, factor=0.5),
+            _slowdown(start=1.0, duration=2.0, device=0, factor=0.5),
+        ))
+        # Worst case (time=None) multiplies everything.
+        assert schedule.compute_factor(0) == pytest.approx(0.25)
+        # Instant queries see only the active windows.
+        assert schedule.compute_factor(0, time=0.5) == pytest.approx(0.5)
+        assert schedule.compute_factor(0, time=1.5) == pytest.approx(0.25)
+        assert schedule.compute_factor(0, time=3.5) == pytest.approx(0.5)
+        assert schedule.compute_factor(1, time=1.5) == pytest.approx(1.0)
+
+    def test_pcie_factor_only_counts_hostlink_degrades(self):
+        schedule = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.0, duration=1.0,
+                      device=0, peer=None, factor=0.5),
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.0, duration=1.0,
+                      device=0, peer=1, factor=0.25),
+        ))
+        assert schedule.pcie_factor(0) == pytest.approx(0.5)
+        assert schedule.pcie_factor(1) == pytest.approx(1.0)
+
+    def test_scaled_severity(self):
+        base = FaultSchedule(faults=(
+            _slowdown(factor=0.5),
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=1.0, device=0,
+                      restart_latency=2.0),
+        ))
+        harsh = base.scaled(2.0)
+        assert harsh.windows()[0].factor == pytest.approx(0.25)
+        assert harsh.failures()[0].restart_latency == pytest.approx(4.0)
+        mild = base.scaled(0.0)
+        assert mild.windows()[0].factor == pytest.approx(1.0)
+        assert mild.failures()[0].restart_latency == 0.0
+        with pytest.raises(ConfigurationError):
+            base.scaled(-1.0)
+
+    def test_json_round_trip(self):
+        schedule = random_schedule(seed=3, n_devices=4, horizon=10.0)
+        again = FaultSchedule.from_json(schedule.to_json())
+        assert again == schedule
+        assert again.to_json() == schedule.to_json()
+
+    def test_file_round_trip(self, tmp_path):
+        schedule = random_schedule(seed=5, n_devices=8, horizon=3.0)
+        path = str(tmp_path / "faults.json")
+        save_faults(schedule, path)
+        assert load_faults(path) == schedule
+
+
+class TestRandomSchedule:
+    def test_same_seed_is_identical(self):
+        a = random_schedule(seed=11, n_devices=8, horizon=20.0)
+        b = random_schedule(seed=11, n_devices=8, horizon=20.0)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = random_schedule(seed=1, n_devices=8, horizon=20.0, n_faults=6)
+        b = random_schedule(seed=2, n_devices=8, horizon=20.0, n_faults=6)
+        assert a != b
+
+    def test_faults_land_inside_horizon(self):
+        schedule = random_schedule(seed=0, n_devices=4, horizon=10.0, n_faults=20)
+        assert len(schedule) == 20
+        assert all(0.0 <= f.start < 10.0 for f in schedule)
+        assert all(0 <= (f.device or 0) < 4 for f in schedule)
+
+    def test_mtbf_controls_fault_count(self):
+        sparse = random_schedule(seed=9, n_devices=4, horizon=100.0, mtbf=50.0)
+        dense = random_schedule(seed=9, n_devices=4, horizon=100.0, mtbf=2.0)
+        assert len(dense) > len(sparse)
+
+    def test_kind_restriction(self):
+        schedule = random_schedule(
+            seed=4, n_devices=4, horizon=10.0, n_faults=10,
+            kinds=(FaultKind.DEVICE_SLOWDOWN,),
+        )
+        assert all(f.kind is FaultKind.DEVICE_SLOWDOWN for f in schedule)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_schedule(seed=0, n_devices=4, horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            random_schedule(seed=0, n_devices=0, horizon=1.0)
+        with pytest.raises(ConfigurationError):
+            random_schedule(seed=0, n_devices=4, horizon=1.0, mtbf=0.0)

@@ -1,0 +1,189 @@
+"""Property-based tests for fault injection.
+
+Three families of invariants:
+
+* *Null effect*: an absent or do-nothing fault schedule leaves the
+  simulation bit-identical to the fault-free baseline.
+* *Monotonicity*: goodput never improves as fault severity grows —
+  checked on anomaly-free scenarios (uniform whole-horizon slowdowns
+  and FIFO chains), since selectively slowing one task in a DAG can
+  legitimately *reduce* makespan (Graham's scheduling anomalies).
+* *Reproducibility*: a seeded campaign is deterministic end to end —
+  the schedule, the simulation, and the report bytes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultKind, FaultSchedule, FaultSpec, random_schedule
+from repro.sim.engine import Engine, Task
+from repro.sim.executor import simulate
+from repro.sim.resources import Stream
+
+from tests.conftest import tiny_job
+
+
+def _trace_tuples(result):
+    return [
+        (e.name, e.kind, e.device, e.microbatch, e.start, e.end, e.layer)
+        for e in result.trace.events
+    ]
+
+
+# -- null effect -------------------------------------------------------------
+
+
+def test_empty_schedule_is_bit_identical():
+    job = tiny_job()
+    plain = simulate(job)
+    empty = simulate(job, faults=FaultSchedule())
+    assert empty.makespan == plain.makespan
+    assert _trace_tuples(empty) == _trace_tuples(plain)
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+    duration=st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+    device=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_unit_factor_window_is_bit_identical(start, duration, device):
+    """A factor-1.0 slowdown changes nothing, wherever it lands."""
+    job = tiny_job()
+    plain = simulate(job)
+    noop = FaultSchedule(faults=(
+        FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=start,
+                  duration=duration, device=device, factor=1.0),
+    ))
+    result = simulate(job, faults=noop)
+    assert result.makespan == plain.makespan
+    assert _trace_tuples(result) == _trace_tuples(plain)
+
+
+# -- monotonicity ------------------------------------------------------------
+
+
+@given(
+    factors=st.lists(
+        st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        min_size=2,
+        max_size=4,
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_uniform_slowdown_makespan_monotone_in_severity(factors):
+    """Slowing *every* device for the whole run scales the timeline;
+    a harsher uniform factor can never finish sooner."""
+    job = tiny_job()
+    horizon = simulate(job).makespan * 20
+    results = []
+    for factor in sorted(factors, reverse=True):  # mild -> harsh
+        faults = FaultSchedule(faults=tuple(
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0,
+                      duration=horizon, device=device, factor=factor)
+            for device in range(job.server.n_gpus)
+        ))
+        results.append(simulate(job, faults=faults).makespan)
+    for milder, harsher in zip(results, results[1:]):
+        assert harsher >= milder - 1e-9
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+    severities=st.lists(
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        min_size=2,
+        max_size=4,
+    ),
+    factor=st.floats(min_value=0.2, max_value=0.9, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_fifo_chain_slowdown_monotone_in_severity(durations, severities, factor):
+    """On a single FIFO chain (no scheduling anomalies possible), a
+    severity-scaled whole-horizon slowdown is monotone in severity."""
+    def makespan(applied_factor):
+        engine = Engine()
+        stream = Stream("s")
+        engine.register_stream(stream)
+        for index, duration in enumerate(durations):
+            stream.submit(Task(f"t{index}", duration))
+        engine.schedule_callback(
+            0.0, lambda: engine.set_stream_rate(stream, applied_factor)
+        )
+        return engine.run()
+
+    spans = [makespan(factor ** severity) for severity in sorted(severities)]
+    for milder, harsher in zip(spans, spans[1:]):
+        assert harsher >= milder - 1e-9
+
+
+@given(severity=st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+@settings(max_examples=10, deadline=None)
+def test_goodput_never_exceeds_fault_free_under_uniform_slowdown(severity):
+    job = tiny_job()
+    base = simulate(job)
+    horizon = base.makespan * 20
+    faults = FaultSchedule(faults=tuple(
+        FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0, duration=horizon,
+                  device=device, factor=0.5)
+        for device in range(job.server.n_gpus)
+    )).scaled(severity)
+    result = simulate(job, faults=faults)
+    assert result.ok
+    goodput = result.resilience.goodput_samples_per_second
+    assert goodput <= base.samples_per_second * (1 + 1e-9)
+
+
+@given(restart=st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+@settings(max_examples=10, deadline=None)
+def test_goodput_monotone_in_restart_latency(restart):
+    job = tiny_job()
+    base = simulate(job)
+    when = base.makespan * 0.5
+
+    def goodput(latency):
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=when, device=0,
+                      restart_latency=latency),
+        ))
+        return simulate(job, faults=faults).resilience.goodput_samples_per_second
+
+    assert goodput(restart + 0.1) <= goodput(restart) + 1e-9
+
+
+# -- reproducibility ---------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_devices=st.integers(min_value=1, max_value=16),
+    horizon=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_random_schedule_is_seed_deterministic(seed, n_devices, horizon):
+    a = random_schedule(seed=seed, n_devices=n_devices, horizon=horizon)
+    b = random_schedule(seed=seed, n_devices=n_devices, horizon=horizon)
+    assert a == b
+    assert a.to_json() == b.to_json()
+    assert FaultSchedule.from_json(a.to_json()) == a
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=5, deadline=None)
+def test_seeded_campaign_report_is_byte_identical(seed):
+    job = tiny_job()
+    horizon = simulate(job).makespan
+
+    def campaign():
+        faults = random_schedule(
+            seed=seed, n_devices=job.server.n_gpus, horizon=horizon, n_faults=3
+        )
+        return simulate(job, faults=faults)
+
+    first, second = campaign(), campaign()
+    assert first.makespan == second.makespan
+    assert first.resilience.to_json() == second.resilience.to_json()
+    assert _trace_tuples(first) == _trace_tuples(second)

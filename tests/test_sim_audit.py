@@ -78,3 +78,63 @@ def test_compute_overlap_detected():
     )
     report = audit_simulation(result)
     assert any("overlap" in v for v in report.violations)
+
+
+# -- fault-aware invariants ---------------------------------------------------
+
+
+def _faulted_result():
+    from repro.faults import FaultKind, FaultSchedule, FaultSpec
+
+    job = tiny_job()
+    base = simulate(job, strict=False)
+    faults = FaultSchedule(faults=(
+        FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0,
+                  duration=base.makespan, device=0, factor=0.5),
+        FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 0.5,
+                  device=2, restart_latency=0.01),
+    ))
+    return simulate(job, strict=False, faults=faults)
+
+
+def test_clean_faulted_run_passes():
+    result = _faulted_result()
+    assert result.resilience is not None and result.resilience.failures
+    report = audit_simulation(result)
+    assert report.ok, report.violations
+
+
+def test_compute_inside_outage_detected():
+    result = _faulted_result()
+    failure = result.resilience.failures[0]
+    midpoint = failure.time + failure.recovery_seconds / 2
+    result.trace.events.append(
+        TraceEvent("ghost.fwd", "fwd", failure.device, 0,
+                   start=midpoint, end=failure.resume_time)
+    )
+    report = audit_simulation(result)
+    assert any("outage" in v for v in report.violations)
+
+
+def test_tampered_reload_bytes_detected():
+    import dataclasses
+
+    result = _faulted_result()
+    failure = result.resilience.failures[0]
+    result.resilience.failures[0] = dataclasses.replace(
+        failure, reload_bytes=failure.reload_bytes + 4096
+    )
+    report = audit_simulation(result)
+    assert any("reload" in v for v in report.violations)
+
+
+def test_tampered_reload_seconds_detected():
+    import dataclasses
+
+    result = _faulted_result()
+    failure = result.resilience.failures[0]
+    result.resilience.failures[0] = dataclasses.replace(
+        failure, reload_seconds=failure.reload_seconds * 2 + 1.0
+    )
+    report = audit_simulation(result)
+    assert any("transfer model" in v for v in report.violations)

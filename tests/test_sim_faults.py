@@ -1,0 +1,327 @@
+"""Fault injection tests: engine rescaling math and executor recovery."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import FaultKind, FaultSchedule, FaultSpec
+from repro.hardware.bandwidth import transfer_time
+from repro.sim.audit import audit_simulation
+from repro.sim.engine import Engine, Task
+from repro.sim.executor import simulate
+from repro.sim.resources import Stream
+
+from tests.conftest import tiny_job
+
+
+def _setup(mode="fifo"):
+    engine = Engine()
+    stream = Stream("s", mode=mode)
+    engine.register_stream(stream)
+    return engine, stream
+
+
+class TestEngineRescaling:
+    def test_whole_run_half_rate_doubles_duration(self):
+        engine, stream = _setup()
+        stream.submit(Task("t", 2.0))
+        engine.schedule_callback(0.0, lambda: engine.set_stream_rate(stream, 0.5))
+        assert engine.run() == pytest.approx(4.0)
+
+    def test_mid_task_window_charges_exactly_the_slowed_portion(self):
+        # 0.5s at full rate, 1.0s at half rate (0.5 work), then the
+        # remaining 1.0 work at full rate: 0.5 + 1.0 + 1.0 = 2.5.
+        engine, stream = _setup()
+        stream.submit(Task("t", 2.0))
+        engine.schedule_callback(0.5, lambda: engine.set_stream_rate(stream, 0.5))
+        engine.schedule_callback(1.5, lambda: engine.set_stream_rate(stream, 1.0))
+        assert engine.run() == pytest.approx(2.5)
+
+    def test_zero_length_window_is_a_no_op(self):
+        engine, stream = _setup()
+        stream.submit(Task("t", 2.0))
+        engine.schedule_callback(1.0, lambda: engine.set_stream_rate(stream, 0.5))
+        engine.schedule_callback(1.0, lambda: engine.set_stream_rate(stream, 1.0))
+        assert engine.run() == pytest.approx(2.0)
+
+    def test_queued_task_starts_at_current_rate(self):
+        engine, stream = _setup()
+        stream.submit(Task("a", 1.0))
+        stream.submit(Task("b", 1.0))
+        engine.schedule_callback(0.0, lambda: engine.set_stream_rate(stream, 0.5))
+        # Both tasks run entirely at half rate.
+        assert engine.run() == pytest.approx(4.0)
+
+    def test_rate_change_only_touches_its_stream(self):
+        engine = Engine()
+        s1, s2 = Stream("s1"), Stream("s2")
+        engine.register_stream(s1)
+        engine.register_stream(s2)
+        a = s1.submit(Task("a", 2.0))
+        b = s2.submit(Task("b", 2.0))
+        engine.schedule_callback(0.0, lambda: engine.set_stream_rate(s1, 0.5))
+        engine.run()
+        assert a.end_time == pytest.approx(4.0)
+        assert b.end_time == pytest.approx(2.0)
+
+    def test_non_positive_rate_rejected(self):
+        engine, stream = _setup()
+        with pytest.raises(SimulationError):
+            engine.set_stream_rate(stream, 0.0)
+        with pytest.raises(SimulationError):
+            engine.set_stream_rate(stream, -1.0)
+
+    def test_stall_shifts_running_and_queued_work(self):
+        engine, stream = _setup()
+        a = stream.submit(Task("a", 2.0))
+        b = stream.submit(Task("b", 1.0))
+        engine.schedule_callback(1.0, lambda: engine.stall_all(3.0))
+        engine.run()
+        assert a.end_time == pytest.approx(5.0)
+        assert b.start_time == pytest.approx(5.0)
+        assert b.end_time == pytest.approx(6.0)
+
+    def test_no_task_starts_inside_a_stall(self):
+        engine, stream = _setup()
+        stream.submit(Task("a", 1.0))
+        b = stream.submit(Task("b", 1.0))
+        engine.schedule_callback(0.5, lambda: engine.stall_all(2.0))
+        engine.run()
+        assert not 0.5 < b.start_time < 2.5
+
+    def test_rate_change_during_stall_does_not_reenter_the_window(self):
+        # A slowdown window closing while the pipeline is stalled must
+        # not treat the paused span as work done at the old rate.
+        engine, stream = _setup()
+        task = stream.submit(Task("t", 2.0))
+        engine.schedule_callback(0.0, lambda: engine.set_stream_rate(stream, 0.5))
+        engine.schedule_callback(0.5, lambda: engine.stall_all(4.0))
+        engine.schedule_callback(1.0, lambda: engine.set_stream_rate(stream, 1.0))
+        engine.run()
+        # 0.25 work done before the stall; the rest runs at full rate
+        # only after the stall lifts at 4.5.
+        assert task.end_time == pytest.approx(4.5 + 1.75)
+
+    def test_overlapping_slowdowns_compose_and_unwind_exactly(self):
+        engine, stream = _setup()
+        task = stream.submit(Task("t", 4.0))
+        active = []
+
+        def apply():
+            rate = 1.0
+            for f in active:
+                rate *= f
+            engine.set_stream_rate(stream, rate)
+
+        def push(f):
+            active.append(f)
+            apply()
+
+        def pop(f):
+            active.remove(f)
+            apply()
+
+        engine.schedule_callback(1.0, lambda: push(0.5))
+        engine.schedule_callback(2.0, lambda: push(0.5))
+        engine.schedule_callback(3.0, lambda: pop(0.5))
+        engine.schedule_callback(4.0, lambda: pop(0.5))
+        engine.run()
+        # Work by segment: 1.0 + 0.5 + 0.25 + 0.5 = 2.25 by t=4,
+        # remaining 1.75 at exactly rate 1.0 again.
+        assert stream.rate == 1.0
+        assert task.end_time == pytest.approx(5.75)
+
+
+class TestExecutorFaults:
+    def test_slowdown_stretches_makespan(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0,
+                      duration=base.makespan * 2, device=0, factor=0.5),
+        ))
+        slowed = simulate(job, faults=faults)
+        assert slowed.ok
+        assert slowed.makespan > base.makespan
+        assert slowed.resilience is not None
+        assert not slowed.resilience.failures
+        report = audit_simulation(slowed)
+        assert report.ok, report.violations
+
+    def test_failure_accounting_is_exact(self):
+        job = tiny_job()
+        base = simulate(job)
+        restart = 0.05
+        when = base.makespan * 0.5
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=when, device=1,
+                      restart_latency=restart),
+        ))
+        result = simulate(job, faults=faults)
+        assert result.ok
+        [failure] = result.resilience.failures
+        assert failure.device == 1
+        assert failure.time == pytest.approx(when)
+        assert failure.reload_seconds == pytest.approx(
+            transfer_time(failure.reload_bytes, job.server.pcie, lanes=1)
+        )
+        recovery = restart + failure.reload_seconds + failure.lost_seconds
+        assert failure.recovery_seconds == pytest.approx(recovery)
+        assert failure.resume_time == pytest.approx(when + recovery)
+        # A stall is a pure shift: the whole remaining schedule moves
+        # right by exactly the recovery time.
+        assert result.makespan == pytest.approx(base.makespan + recovery)
+        report = audit_simulation(result)
+        assert report.ok, report.violations
+
+    def test_failure_before_first_checkpoint_loses_everything(self):
+        job = tiny_job()
+        base = simulate(job)
+        when = base.makespan * 0.25  # before any minibatch is durable
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=when, device=0),
+        ))
+        result = simulate(job, faults=faults)
+        [failure] = result.resilience.failures
+        assert failure.lost_seconds == pytest.approx(when)
+
+    def test_failure_after_training_finishes_is_ignored(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 10,
+                      device=0, restart_latency=1.0),
+        ))
+        result = simulate(job, faults=faults)
+        assert result.resilience is not None
+        assert not result.resilience.failures
+        assert result.makespan == base.makespan
+
+    def test_recovery_timeline_is_sorted(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 0.6,
+                      device=2, restart_latency=0.01),
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 0.3,
+                      device=1, restart_latency=0.01),
+        ))
+        result = simulate(job, faults=faults)
+        timeline = result.resilience.recovery_timeline()
+        assert len(timeline) == 2
+        starts = [start for start, _end, _dev in timeline]
+        assert starts == sorted(starts)
+        # Outages must not overlap: the second failure fires after the
+        # first recovery shifted the schedule.
+        assert timeline[0][1] <= timeline[1][0] + 1e-12
+        report = audit_simulation(result)
+        assert report.ok, report.violations
+
+    def test_goodput_accounts_for_recoveries(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 0.5,
+                      device=0, restart_latency=0.05),
+        ))
+        result = simulate(job, faults=faults)
+        goodput = result.resilience.goodput_samples_per_second
+        assert goodput < base.samples_per_second
+        assert goodput == pytest.approx(result.resilience.samples / result.makespan)
+
+    def test_link_degrade_and_nvme_stall_run_clean(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.0,
+                      duration=base.makespan, device=0, peer=1, factor=0.5),
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, start=0.0,
+                      duration=base.makespan, device=2, factor=0.5),
+            FaultSpec(kind=FaultKind.NVME_STALL, start=0.0,
+                      duration=base.makespan, factor=0.5),
+        ))
+        result = simulate(job, faults=faults)
+        assert result.ok
+        assert result.makespan >= base.makespan - 1e-12
+        report = audit_simulation(result)
+        assert report.ok, report.violations
+
+    def test_overlapping_faults_on_one_device(self):
+        job = tiny_job()
+        base = simulate(job)
+        span = base.makespan
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=0.0,
+                      duration=span * 4, device=0, factor=0.5),
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=span * 0.5,
+                      duration=span, device=0, factor=0.5),
+        ))
+        both = simulate(job, faults=faults)
+        single = simulate(job, faults=FaultSchedule(faults=faults.faults[:1]))
+        assert both.ok
+        assert both.makespan >= single.makespan - 1e-12
+        report = audit_simulation(both)
+        assert report.ok, report.violations
+
+    def test_empty_schedule_is_bit_identical_to_no_faults(self):
+        job = tiny_job()
+        plain = simulate(job)
+        empty = simulate(job, faults=FaultSchedule())
+        assert empty.resilience is None
+        assert empty.makespan == plain.makespan
+        assert [tuple(e.__dict__.items()) if hasattr(e, "__dict__") else e
+                for e in empty.trace.events] == \
+               [tuple(e.__dict__.items()) if hasattr(e, "__dict__") else e
+                for e in plain.trace.events]
+
+
+class TestTraceIntegrity:
+    """Event traces stay well-formed even when durations are rescaled
+    mid-flight (regression for the generation-counter heap)."""
+
+    def _faulted_result(self):
+        job = tiny_job(system="pipedream")
+        base = simulate(job)
+        span = base.makespan
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=span * 0.1,
+                      duration=span * 0.3, device=0, factor=0.4),
+            FaultSpec(kind=FaultKind.DEVICE_SLOWDOWN, start=span * 0.2,
+                      duration=span * 0.4, device=1, factor=0.6),
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=span * 0.6, device=2,
+                      restart_latency=0.01),
+        ))
+        result = simulate(job, faults=faults)
+        assert result.ok
+        return result
+
+    def test_compute_events_sorted_and_non_overlapping_per_device(self):
+        result = self._faulted_result()
+        per_device = {}
+        for event in result.trace.events:
+            if event.kind in ("fwd", "bwd", "opt", "recompute"):
+                per_device.setdefault(event.device, []).append(event)
+        assert per_device
+        for device, events in per_device.items():
+            ordered = sorted(events, key=lambda e: (e.start, e.end))
+            for first, second in zip(ordered, ordered[1:]):
+                assert first.end <= second.start + 1e-9, (
+                    f"device {device}: {first.name} overlaps {second.name}"
+                )
+
+    def test_swap_events_non_overlapping_per_channel(self):
+        result = self._faulted_result()
+        per_channel = {}
+        for event in result.trace.events:
+            if event.kind in ("swap_out", "swap_in"):
+                per_channel.setdefault((event.device, event.kind), []).append(event)
+        for channel, events in per_channel.items():
+            ordered = sorted(events, key=lambda e: (e.start, e.end))
+            for first, second in zip(ordered, ordered[1:]):
+                assert first.end <= second.start + 1e-9, (
+                    f"channel {channel}: {first.name} overlaps {second.name}"
+                )
+
+    def test_every_event_has_non_negative_duration(self):
+        result = self._faulted_result()
+        for event in result.trace.events:
+            assert event.end >= event.start - 1e-12
