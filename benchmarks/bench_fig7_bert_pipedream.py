@@ -5,39 +5,39 @@ PipeDream OOMs from 0.64B; GPU-CPU swap always worst among
 survivors; Recomputation beats swap but dies at large sizes; MPress
 matches the best everywhere and is the only system (plus swap)
 reaching 6.2B — 3.1x faster than swap there.
+
+The grid executes through the sweep runtime (``runtime`` fixture),
+so it fans out over ``REPRO_BENCH_JOBS`` workers and caches under
+``REPRO_BENCH_CACHE``.
 """
 
 import pytest
 
 from repro.analysis.plotting import grouped_bars
 from repro.analysis.reporting import format_table
-from repro.core.mpress import run_system
-from repro.hardware import dgx1_server
-from repro.job import pipedream_job
-from repro.models import bert_variant
+from repro.runtime.presets import FIG7_SIZES, FIG7_SYSTEMS, fig7_tasks
 
-SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "d2d-only", "mpress")
-SIZES = (0.35, 0.64, 1.67, 4.0, 6.2)
+SYSTEMS = FIG7_SYSTEMS
+SIZES = FIG7_SIZES
 
 
-def _measure():
-    server = dgx1_server()
+def _measure(runtime):
+    records = runtime.run(fig7_tasks()).records()
     table = {}
-    for billions in SIZES:
-        job = pipedream_job(bert_variant(billions), server)
-        table[billions] = {
-            system: run_system(job, system) for system in SYSTEMS
-        }
+    grid = [(b, s) for b in SIZES for s in SYSTEMS]
+    for (billions, system), record in zip(grid, records):
+        assert record is not None, f"fig7 cell {billions}/{system} failed"
+        table.setdefault(billions, {})[system] = record
     return table
 
 
-def _cell(result):
-    return f"{result.tflops:.0f}" if result.ok else "OOM"
+def _cell(record):
+    return f"{record['tflops']:.0f}" if record["ok"] else "OOM"
 
 
 @pytest.mark.benchmark(group="figure7")
-def test_fig7_bert_systems(once):
-    table = once(_measure)
+def test_fig7_bert_systems(once, runtime):
+    table = once(lambda: _measure(runtime))
     print()
     rows = [
         [f"Bert-{billions}B"] + [_cell(table[billions][s]) for s in SYSTEMS]
@@ -51,7 +51,7 @@ def test_fig7_bert_systems(once):
     print()
     series = {
         system: [
-            table[b][system].tflops if table[b][system].ok else None
+            table[b][system]["tflops"] if table[b][system]["ok"] else None
             for b in SIZES
         ]
         for system in SYSTEMS
@@ -61,34 +61,36 @@ def test_fig7_bert_systems(once):
 
     # Small: everything works and ties.
     small = table[0.35]
-    values = [small[s].tflops for s in SYSTEMS]
+    values = [small[s]["tflops"] for s in SYSTEMS]
     assert max(values) - min(values) < 0.05 * max(values)
 
     # Medium: PipeDream OOMs; swap is worst among survivors; the
     # stand-alone D2D variant suffices and matches full MPress
     # ("the two MPress perform the best with identical performance").
     medium = table[0.64]
-    assert not medium["none"].ok
-    assert medium["gpu-cpu-swap"].ok
-    assert medium["recomputation"].tflops > 1.2 * medium["gpu-cpu-swap"].tflops
-    assert medium["mpress"].tflops >= 0.98 * medium["recomputation"].tflops
-    assert medium["d2d-only"].ok
-    assert medium["d2d-only"].tflops >= 0.95 * medium["mpress"].tflops
+    assert not medium["none"]["ok"]
+    assert medium["gpu-cpu-swap"]["ok"]
+    assert (medium["recomputation"]["tflops"]
+            > 1.2 * medium["gpu-cpu-swap"]["tflops"])
+    assert (medium["mpress"]["tflops"]
+            >= 0.98 * medium["recomputation"]["tflops"])
+    assert medium["d2d-only"]["ok"]
+    assert medium["d2d-only"]["tflops"] >= 0.95 * medium["mpress"]["tflops"]
 
     # Large: the spare GPU memory cannot absorb everything, so the
     # stand-alone D2D variant fails from 1.67B on (paper Sec. IV-B).
-    assert not table[1.67]["d2d-only"].ok
+    assert not table[1.67]["d2d-only"]["ok"]
 
     # Extra large: only swap and MPress survive; MPress >> swap
     # (paper: 3.1x).
     huge = table[6.2]
-    assert not huge["recomputation"].ok and not huge["none"].ok
-    assert huge["gpu-cpu-swap"].ok and huge["mpress"].ok
-    assert huge["mpress"].tflops > 2.0 * huge["gpu-cpu-swap"].tflops
+    assert not huge["recomputation"]["ok"] and not huge["none"]["ok"]
+    assert huge["gpu-cpu-swap"]["ok"] and huge["mpress"]["ok"]
+    assert huge["mpress"]["tflops"] > 2.0 * huge["gpu-cpu-swap"]["tflops"]
 
     # MPress survives (and leads or ties) at every size.
     for billions in SIZES:
         entry = table[billions]
-        assert entry["mpress"].ok
-        best = max(r.tflops for r in entry.values())
-        assert entry["mpress"].tflops >= 0.9 * best
+        assert entry["mpress"]["ok"]
+        best = max(r["tflops"] for r in entry.values())
+        assert entry["mpress"]["tflops"] >= 0.9 * best

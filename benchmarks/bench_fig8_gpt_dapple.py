@@ -5,40 +5,39 @@ mid-size then hits the model-state wall; the ZeRO variants and
 MPress scale to the largest sizes, with MPress fastest throughout;
 ZeRO-Infinity beats ZeRO-Offload on DGX-1 but loses on the DGX-2
 with slow SSDs; DGX-2 throughput is more than double DGX-1.
+
+The grid executes through the sweep runtime (``runtime`` fixture);
+the ZeRO columns are runtime tasks too, so the whole figure caches
+and parallelizes uniformly.
 """
 
 import pytest
 
 from repro.analysis.plotting import grouped_bars
 from repro.analysis.reporting import format_table
-from repro.baselines.zero import run_zero
-from repro.core.mpress import run_system
 from repro.hardware import dgx1_server, dgx2_server
 from repro.job import dapple_job
 from repro.models import gpt_variant
+from repro.runtime import SimTask
+from repro.runtime.presets import FIG8_COLUMNS, FIG8_SIZES, fig8_tasks
 
-SIZES = (5.3, 10.3, 15.4, 20.4, 25.5)
+SIZES = FIG8_SIZES
+# Paper column names; the runtime's system names are in FIG8_COLUMNS.
 COLUMNS = ("dapple", "+recomp", "zero-offload", "zero-infinity", "mpress")
 
 
-def _measure(server):
+def _measure(runtime, server):
+    records = runtime.run(fig8_tasks(server)).records()
     table = {}
-    for billions in SIZES:
-        model = gpt_variant(billions)
-        job = dapple_job(model, server)
-        samples = job.samples_per_minibatch
-        table[billions] = {
-            "dapple": run_system(job, "none"),
-            "+recomp": run_system(job, "recomputation"),
-            "zero-offload": run_zero(model, server, "offload", samples),
-            "zero-infinity": run_zero(model, server, "infinity", samples),
-            "mpress": run_system(job, "mpress"),
-        }
+    grid = [(b, c) for b in SIZES for c in COLUMNS]
+    for (billions, column), record in zip(grid, records):
+        assert record is not None, f"fig8 cell {billions}/{column} failed"
+        table.setdefault(billions, {})[column] = record
     return table
 
 
-def _cell(result):
-    return f"{result.tflops:.0f}" if result.ok else "OOM"
+def _cell(record):
+    return f"{record['tflops']:.0f}" if record["ok"] else "OOM"
 
 
 def _print(table, title):
@@ -50,7 +49,7 @@ def _print(table, title):
     print()
     series = {
         column: [
-            table[b][column].tflops if table[b][column].ok else None
+            table[b][column]["tflops"] if table[b][column]["ok"] else None
             for b in SIZES
         ]
         for column in COLUMNS
@@ -61,55 +60,60 @@ def _print(table, title):
 
 def _common_assertions(table):
     # DAPPLE alone only handles the smallest model.
-    assert table[5.3]["dapple"].ok
-    assert not table[10.3]["dapple"].ok
+    assert table[5.3]["dapple"]["ok"]
+    assert not table[10.3]["dapple"]["ok"]
     # Recomputation hits the model-state wall before 20.4B.
-    assert table[10.3]["+recomp"].ok
-    assert not table[20.4]["+recomp"].ok
+    assert table[10.3]["+recomp"]["ok"]
+    assert not table[20.4]["+recomp"]["ok"]
     # ZeRO variants and MPress scale to the largest size.
     for column in ("zero-offload", "zero-infinity", "mpress"):
-        assert table[25.5][column].ok, column
+        assert table[25.5][column]["ok"], column
     # MPress leads at every size it shares with ZeRO.
     for billions in SIZES:
         entry = table[billions]
-        assert entry["mpress"].tflops > entry["zero-offload"].tflops
-        assert entry["mpress"].tflops > entry["zero-infinity"].tflops
+        assert entry["mpress"]["tflops"] > entry["zero-offload"]["tflops"]
+        assert entry["mpress"]["tflops"] > entry["zero-infinity"]["tflops"]
 
 
 @pytest.mark.benchmark(group="figure8")
-def test_fig8a_dgx1(once):
-    table = once(lambda: _measure(dgx1_server()))
+def test_fig8a_dgx1(once, runtime):
+    table = once(lambda: _measure(runtime, dgx1_server()))
     print()
     _print(table, "Figure 8a: GPT TFLOPS on DGX-1-V100")
     _common_assertions(table)
     # Fast NVMe: Infinity ahead of Offload (paper: +20.6-23.8%).
     for billions in SIZES:
         entry = table[billions]
-        assert entry["zero-infinity"].tflops > entry["zero-offload"].tflops
+        assert entry["zero-infinity"]["tflops"] > entry["zero-offload"]["tflops"]
 
 
 @pytest.mark.benchmark(group="figure8")
-def test_fig8b_dgx2(once):
-    table = once(lambda: _measure(dgx2_server()))
+def test_fig8b_dgx2(once, runtime):
+    table = once(lambda: _measure(runtime, dgx2_server()))
     print()
     _print(table, "Figure 8b: GPT TFLOPS on DGX-2-A100 (slow NVMe)")
     _common_assertions(table)
     # Slow SSDs invert the ZeRO ranking (the paper's observation).
     for billions in SIZES:
         entry = table[billions]
-        assert entry["zero-offload"].tflops > entry["zero-infinity"].tflops
+        assert entry["zero-offload"]["tflops"] > entry["zero-infinity"]["tflops"]
 
 
 @pytest.mark.benchmark(group="figure8")
-def test_fig8_dgx2_doubles_dgx1(once):
+def test_fig8_dgx2_doubles_dgx1(once, runtime):
     def measure():
         model = gpt_variant(10.3)
-        v100 = run_system(dapple_job(model, dgx1_server()), "mpress")
-        a100 = run_system(dapple_job(model, dgx2_server()), "mpress")
-        return v100, a100
+        tasks = [
+            SimTask(label="fig8/doubling/dgx1",
+                    job=dapple_job(model, dgx1_server()), system="mpress"),
+            SimTask(label="fig8/doubling/dgx2",
+                    job=dapple_job(model, dgx2_server()), system="mpress"),
+        ]
+        return runtime.run(tasks).records()
 
     v100, a100 = once(measure)
     print()
-    print(f"GPT-10.3B MPress: DGX-1 {v100.tflops:.0f} TF, DGX-2 "
-          f"{a100.tflops:.0f} TF ({a100.tflops / v100.tflops:.1f}x, paper: >2x)")
-    assert a100.tflops > 2.0 * v100.tflops
+    print(f"GPT-10.3B MPress: DGX-1 {v100['tflops']:.0f} TF, DGX-2 "
+          f"{a100['tflops']:.0f} TF ({a100['tflops'] / v100['tflops']:.1f}x, "
+          f"paper: >2x)")
+    assert a100["tflops"] > 2.0 * v100["tflops"]

@@ -17,7 +17,7 @@ from repro.models import gpt_variant
 
 
 @pytest.mark.benchmark(group="resilience")
-def test_goodput_vs_mtbf(once):
+def test_goodput_vs_mtbf(once, runtime):
     """Goodput vs. MTBF for MPress on GPT-5.3B/DAPPLE (DGX-1)."""
 
     def measure():
@@ -28,6 +28,7 @@ def test_goodput_vs_mtbf(once):
             mtbf_grid=(4.0, 1.0, 0.25),
             trials=1,
             seed=42,
+            runtime=runtime,
         )
 
     cells = once(measure)

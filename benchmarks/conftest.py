@@ -4,9 +4,19 @@ Every benchmark regenerates one of the paper's tables or figures and
 prints the corresponding rows/series.  Heavy experiments run exactly
 once per benchmark (``rounds=1``) — the interesting output is the
 experiment's result, not micro-timing jitter.
+
+Grid-shaped benchmarks execute through :mod:`repro.runtime` via the
+session ``runtime`` fixture, so they parallelize and cache like any
+other sweep.  Two environment variables configure it:
+
+* ``REPRO_BENCH_JOBS`` — worker processes (default 1);
+* ``REPRO_BENCH_CACHE`` — result-cache directory (default: no cache;
+  point it somewhere persistent to make benchmark re-runs instant).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -22,3 +32,14 @@ def once(benchmark):
         return run_once(benchmark, func)
 
     return runner
+
+
+@pytest.fixture(scope="session")
+def runtime():
+    """The sweep runtime every grid benchmark routes through."""
+    from repro.runtime import ResultCache, RuntimeConfig, SweepRuntime
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRuntime(RuntimeConfig(jobs=jobs, cache=cache))

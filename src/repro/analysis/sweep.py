@@ -1,8 +1,10 @@
 """Experiment sweeps: run grids of (model, system) cells and export.
 
-A thin driver over :func:`repro.core.mpress.run_system` and the ZeRO
-baselines that collects one row per cell — what the figure benches do
-by hand — plus CSV export so results feed external plotting.
+A driver that collects one row per (model, system) cell — what the
+figure benches do by hand — plus CSV export so results feed external
+plotting.  Cells execute through :mod:`repro.runtime`, so a sweep
+inherits process-pool parallelism and content-addressed caching; pass
+a configured :class:`~repro.runtime.SweepRuntime` to turn those on.
 """
 
 from __future__ import annotations
@@ -36,32 +38,89 @@ FIELDS = ["model", "system", "ok", "tflops", "samples_per_second",
           "minibatch_time", "peak_gib"]
 
 
+def sweep_tasks(
+    jobs: Dict[str, TrainingJob], systems: Sequence[str]
+) -> List["SimTask"]:
+    """Lower a (model, system) grid into runtime tasks."""
+    from repro.runtime.task import SimTask
+
+    return [
+        SimTask(label=f"{model_name}/{system}", job=job, system=system)
+        for model_name, job in jobs.items()
+        for system in systems
+    ]
+
+
+def cells_from_records(
+    jobs: Dict[str, TrainingJob],
+    systems: Sequence[str],
+    records: Sequence[Optional[Dict]],
+) -> List[SweepCell]:
+    """Rebuild sweep cells from runtime records, in grid order."""
+    from repro.runtime.task import peak_gib
+
+    cells: List[SweepCell] = []
+    grid = [(m, s) for m in jobs for s in systems]
+    for (model_name, system), record in zip(grid, records):
+        if record is None:
+            # The runtime exhausted its retries on this cell; report
+            # it like an OOM rather than dropping the row.
+            cells.append(SweepCell(model=model_name, system=system, ok=False,
+                                   tflops=0.0, samples_per_second=0.0,
+                                   minibatch_time=0.0, peak_gib=0.0))
+            continue
+        cells.append(
+            SweepCell(
+                model=model_name,
+                system=system,
+                ok=bool(record["ok"]),
+                tflops=record["tflops"],
+                samples_per_second=record["samples_per_second"],
+                minibatch_time=record["minibatch_time"],
+                peak_gib=peak_gib(record),
+            )
+        )
+    return cells
+
+
 def run_sweep(
     jobs: Dict[str, TrainingJob],
     systems: Sequence[str],
     runner: Optional[Callable] = None,
+    runtime: Optional["SweepRuntime"] = None,
 ) -> List[SweepCell]:
-    """Run every (job, system) cell; ``runner`` defaults to run_system."""
-    if runner is None:
-        from repro.core.mpress import run_system as runner
-    cells: List[SweepCell] = []
-    for model_name, job in jobs.items():
-        for system in systems:
-            result = runner(job, system)
-            simulation = result.simulation
-            peak = max(simulation.peak_memory_per_gpu) if simulation.ok else 0
-            cells.append(
-                SweepCell(
-                    model=model_name,
-                    system=system,
-                    ok=result.ok,
-                    tflops=result.tflops,
-                    samples_per_second=result.samples_per_second,
-                    minibatch_time=simulation.minibatch_time,
-                    peak_gib=peak / 2**30,
+    """Run every (job, system) cell of the grid.
+
+    By default cells route through :mod:`repro.runtime` (serial,
+    uncached); pass ``runtime`` for parallelism and caching.  A
+    custom ``runner`` callable (legacy interface, used to stub the
+    simulator in tests) bypasses the runtime entirely.
+    """
+    if runner is not None:
+        cells: List[SweepCell] = []
+        for model_name, job in jobs.items():
+            for system in systems:
+                result = runner(job, system)
+                simulation = result.simulation
+                peak = (max(simulation.peak_memory_per_gpu)
+                        if simulation.ok else 0)
+                cells.append(
+                    SweepCell(
+                        model=model_name,
+                        system=system,
+                        ok=result.ok,
+                        tflops=result.tflops,
+                        samples_per_second=result.samples_per_second,
+                        minibatch_time=simulation.minibatch_time,
+                        peak_gib=peak / 2**30,
+                    )
                 )
-            )
-    return cells
+        return cells
+
+    from repro.runtime.pool import run_tasks
+
+    report = run_tasks(sweep_tasks(jobs, systems), runtime)
+    return cells_from_records(jobs, systems, report.records())
 
 
 def to_csv(cells: Sequence[SweepCell]) -> str:

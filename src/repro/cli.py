@@ -242,6 +242,83 @@ def _cmd_project(args) -> int:
     return 0
 
 
+def _sweep_runtime(args):
+    """Build a SweepRuntime from --jobs/--cache/--quiet flags."""
+    from repro.runtime import ResultCache, RuntimeConfig, SweepRuntime
+
+    cache = ResultCache(args.cache) if args.cache else None
+    progress = None
+    if not args.quiet:
+        progress = lambda event: print(event.line(), file=sys.stderr)  # noqa: E731
+    return SweepRuntime(RuntimeConfig(
+        jobs=args.jobs, cache=cache, progress=progress,
+    ))
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.runtime import peak_gib, records_to_csv
+    from repro.runtime.presets import preset_tasks
+
+    if args.preset:
+        tasks = preset_tasks(args.preset)
+    else:
+        if not args.models:
+            raise ConfigurationError("either --preset or --models is required")
+        from repro.analysis.sweep import sweep_tasks
+
+        server = _build_server(args.server)
+        builders = {"pipedream": pipedream_job, "dapple": dapple_job,
+                    "gpipe": gpipe_job}
+        jobs = {}
+        for spec in args.models.split(","):
+            spec = spec.strip()
+            pipeline = args.pipeline or _default_pipeline(spec)
+            jobs[spec] = builders[pipeline](_parse_model(spec), server)
+        systems = [s.strip() for s in args.systems.split(",")]
+        tasks = sweep_tasks(jobs, systems)
+
+    runtime = _sweep_runtime(args)
+    report = runtime.run(tasks)
+
+    rows = []
+    for outcome in report.outcomes:
+        record = outcome.record
+        if record is None:
+            rows.append([outcome.task.label, "FAILED", "-", "-",
+                         outcome.error or ""])
+            continue
+        status = "ok" if record["ok"] else "OOM"
+        rows.append([
+            record["label"],
+            status,
+            f"{record['tflops']:.1f}" if record["ok"] else "-",
+            f"{peak_gib(record):.1f}" if record["ok"] else "-",
+            outcome.source,
+        ])
+    print(format_table(["task", "status", "TFLOPS", "peak GiB", "source"],
+                       rows, title=f"sweep ({len(tasks)} tasks)"))
+    print(f"runtime: {report.summary()}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(records_to_csv(report.records()))
+        print(f"csv written to {args.csv}")
+    return 1 if report.failed else 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.cache)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(stats.summary())
+        return 0
+    removed = cache.clear()
+    print(f"{args.cache}: removed {removed} entries")
+    return 0
+
+
 # -- parser ----------------------------------------------------------------
 
 
@@ -302,6 +379,31 @@ def build_parser() -> argparse.ArgumentParser:
     project = sub.add_parser("project", help="Section V superchip projection")
     project.add_argument("--devices", type=int, default=8)
     project.set_defaults(func=_cmd_project)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a grid of simulations (parallel, cached)")
+    sweep.add_argument("--preset", default=None,
+                       help="a named grid: fig7, fig8-dgx1, fig8-dgx2, fig9")
+    sweep.add_argument("--models", default=None,
+                       help="comma list, e.g. bert-0.64,gpt-5.3")
+    sweep.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+    sweep.add_argument("--pipeline", default=None,
+                       choices=("pipedream", "dapple", "gpipe"))
+    sweep.add_argument("--systems", default="none,recomputation,mpress",
+                       help="comma list of systems to sweep")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (1 = run inline)")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed result cache directory")
+    sweep.add_argument("--csv", default=None, metavar="PATH")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-task progress lines")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser("cache", help="inspect or evict the result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache", required=True, metavar="DIR")
+    cache.set_defaults(func=_cmd_cache)
 
     return parser
 

@@ -1,4 +1,4 @@
-"""Plan serialization: persist MPress Static's output.
+"""Plan serialization and canonical config encoding.
 
 A memory-saving plan is produced offline (the paper's MPress Static
 runs once; the actual training reuses it for millions of iterations),
@@ -8,10 +8,20 @@ module round-trips :class:`MemorySavingPlan` through plain JSON.
 The format is self-contained: tensor classes are embedded, so a plan
 can be loaded without re-profiling — `validate_plan` against freshly
 enumerated classes is still recommended before executing it.
+
+The second half of the module is the **canonical encoding** used by
+:mod:`repro.runtime` to content-address simulation results: any
+configuration object (nested dataclasses, enums, dicts keyed by
+frozensets, ...) lowers to a deterministic, version-tagged JSON text
+whose SHA-256 is stable across processes and dict insertion orders.
+Two configs hash equal iff every semantic field is equal.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
 from typing import Dict, List
 
@@ -21,6 +31,10 @@ from repro.errors import PlanError
 from repro.graph.tensor import TensorClass, TensorKind
 
 FORMAT_VERSION = 1
+
+# Bump whenever the canonical lowering itself changes shape; it is
+# embedded in every canonical text, so old digests stop matching.
+CANONICAL_VERSION = 1
 
 
 def plan_to_dict(plan: MemorySavingPlan) -> Dict:
@@ -132,3 +146,72 @@ def _stripe_from_dict(payload: Dict) -> StripePlan:
         tensor_bytes=payload["tensor_bytes"],
         blocks=blocks,
     )
+
+
+# -- canonical config encoding ------------------------------------------------
+#
+# Every config object the runtime hashes is built from frozen
+# dataclasses, enums, primitives, and containers of those.  The
+# lowering is *structural*: dataclasses carry their class name, so a
+# GPUSpec and a HostSpec with coincidentally equal fields never
+# collide; sets and dicts are sorted by the canonical text of their
+# members, so Python's insertion order cannot leak into the digest.
+
+
+def canonical_payload(obj):
+    """Lower ``obj`` into deterministic JSON-serializable primitives.
+
+    Raises :class:`TypeError` for objects with no canonical form
+    (functions, open files, arbitrary class instances) — a cache key
+    must never silently depend on ``repr`` or ``id``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips exactly and normalizes -0.0 vs 0.0 texts.
+        return obj
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical_payload(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, "fields": fields}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonical_payload(item) for item in obj]
+        return {"__set__": sorted(items, key=_sort_text)}
+    if isinstance(obj, dict):
+        items = [
+            [canonical_payload(key), canonical_payload(value)]
+            for key, value in obj.items()
+        ]
+        return {"__dict__": sorted(items, key=lambda kv: _sort_text(kv[0]))}
+    raise TypeError(f"no canonical encoding for {type(obj).__name__!r}")
+
+
+def _sort_text(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_json(obj, salt: str = "") -> str:
+    """Version-tagged canonical JSON text of any config object."""
+    envelope = {
+        "canonical": CANONICAL_VERSION,
+        "salt": salt,
+        "data": canonical_payload(obj),
+    }
+    return json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(obj, salt: str = "") -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``.
+
+    ``salt`` namespaces digests by consumer (the sweep runtime passes
+    a code-version salt so semantic simulator changes invalidate old
+    cache entries wholesale).
+    """
+    text = canonical_json(obj, salt=salt)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

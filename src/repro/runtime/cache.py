@@ -1,0 +1,141 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON file per cache
+key, fanned out over 256 buckets so a directory never accumulates
+millions of entries.  Entries are written atomically (temp file +
+rename), so a sweep killed mid-write can never leave a truncated
+entry that later reads as a hit.
+
+The key is the SHA-256 of the task's canonical encoding (see
+:meth:`repro.runtime.task.SimTask.cache_key`), which already folds in
+the canonical-format version and the runtime's code salt — a cache
+directory can therefore be shared between code versions: stale
+entries are simply never addressed again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+ENTRY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a cache directory."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def summary(self) -> str:
+        mib = self.total_bytes / 2**20
+        return f"{self.root}: {self.entries} entries, {mib:.2f} MiB"
+
+
+class ResultCache:
+    """Read/write content-addressed simulation records.
+
+    ``get``/``put`` also maintain per-instance hit/miss counters so a
+    sweep can report its cache effectiveness.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing -------------------------------------------------------
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- read/write -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached record for ``key``, or None on miss.
+
+        Unreadable or corrupt entries count as misses: the runtime
+        will recompute and overwrite them.
+        """
+        try:
+            with open(self.path_for(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != ENTRY_VERSION:
+            self.misses += 1
+            return None
+        record = entry.get("record")
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict) -> None:
+        """Persist ``record`` under ``key`` atomically."""
+        path = self.path_for(key)
+        bucket = os.path.dirname(path)
+        os.makedirs(bucket, exist_ok=True)
+        entry = {"version": ENTRY_VERSION, "key": key, "record": record}
+        fd, tmp = tempfile.mkstemp(dir=bucket, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- inspection / eviction -------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Every key currently cached (sorted)."""
+        found: List[str] = []
+        for path in self._entry_paths():
+            found.append(os.path.basename(path)[: -len(".json")])
+        return sorted(found)
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(root=self.root, entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _entry_paths(self) -> List[str]:
+        paths: List[str] = []
+        if not os.path.isdir(self.root):
+            return paths
+        for bucket in sorted(os.listdir(self.root)):
+            bucket_path = os.path.join(self.root, bucket)
+            if not os.path.isdir(bucket_path):
+                continue
+            for name in sorted(os.listdir(bucket_path)):
+                if name.endswith(".json"):
+                    paths.append(os.path.join(bucket_path, name))
+        return paths

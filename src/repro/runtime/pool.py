@@ -1,0 +1,289 @@
+"""The sweep runtime: fan tasks over a process pool, cache results.
+
+``SweepRuntime.run(tasks)`` resolves every task, in three layers:
+
+1. **cache** — tasks whose content address is already on disk return
+   instantly, without touching a worker;
+2. **pool** — remaining tasks fan out over ``jobs`` worker processes
+   (``jobs=1`` runs inline, no pool, for determinism and debugging);
+3. **retry with exclusion** — a task whose worker raised (or died and
+   broke the pool) is retried in a fresh pool generation up to
+   ``retries`` times; a task that exhausts its retries is *excluded*
+   from the pool and attempted once inline in the parent, so one
+   poisoned config can never wedge the whole sweep.  Persistent
+   errors are recorded per-task, not raised.
+
+Results come back **in submission order** regardless of completion
+order, so a sweep's output is byte-identical whatever ``jobs`` is.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.task import SimTask, execute_task
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress tick, emitted as each task resolves."""
+
+    done: int
+    total: int
+    label: str
+    source: str            # "cache" | "pool" | "inline"
+    ok: bool
+    elapsed: float
+
+    def line(self) -> str:
+        status = "" if self.ok else " FAILED"
+        return (f"[{self.done}/{self.total}] {self.source:<6} "
+                f"{self.label}{status} ({self.elapsed:.1f}s)")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of one sweep execution."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    retries: int = 2
+    progress: Optional[Callable[[ProgressEvent], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError("runtime jobs must be >= 1")
+        if self.retries < 0:
+            raise ConfigurationError("runtime retries must be >= 0")
+
+
+@dataclass
+class TaskOutcome:
+    """How one task resolved."""
+
+    task: SimTask
+    record: Optional[Dict]
+    source: str            # "cache" | "pool" | "inline"
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+
+@dataclass
+class RuntimeReport:
+    """Everything one ``run`` produced, in submission order."""
+
+    outcomes: List[TaskOutcome]
+    elapsed: float
+    pool_generations: int = 1
+
+    def records(self) -> List[Optional[Dict]]:
+        return [outcome.record for outcome in self.outcomes]
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and o.source != "cache")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "cache")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for o in self.outcomes if o.attempts > 1)
+
+    @property
+    def tasks_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed
+
+    def summary(self) -> str:
+        return (f"tasks={len(self.outcomes)} executed={self.executed} "
+                f"cached={self.cached} failed={self.failed} "
+                f"retried={self.retried} elapsed={self.elapsed:.2f}s "
+                f"({self.tasks_per_second:.2f} tasks/s)")
+
+
+class SweepRuntime:
+    """Executes independent simulation tasks, possibly in parallel."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None):
+        self.config = config if config is not None else RuntimeConfig()
+
+    def run(self, tasks: Sequence[SimTask]) -> RuntimeReport:
+        started = time.time()
+        tasks = list(tasks)
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        done_count = 0
+
+        def emit(index: int, outcome: TaskOutcome) -> None:
+            nonlocal done_count
+            outcomes[index] = outcome
+            done_count += 1
+            if self.config.progress is not None:
+                self.config.progress(ProgressEvent(
+                    done=done_count,
+                    total=len(tasks),
+                    label=outcome.task.label,
+                    source=outcome.source,
+                    ok=outcome.ok,
+                    elapsed=time.time() - started,
+                ))
+
+        # Layer 1: cache hits.
+        cache = self.config.cache
+        keys: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            if cache is not None:
+                keys[index] = task.cache_key()
+                record = cache.get(keys[index])
+                if record is not None:
+                    # The stored label belongs to whichever sweep
+                    # produced the entry; report the caller's.
+                    record = dict(record, label=task.label)
+                    emit(index, TaskOutcome(task=task, record=record,
+                                            source="cache"))
+                    continue
+            pending.append(index)
+
+        # Layers 2 and 3: execute the misses.
+        generations = 1
+        if pending:
+            if self.config.jobs == 1:
+                self._run_inline(tasks, keys, pending, emit)
+            else:
+                generations = self._run_pool(tasks, keys, pending, emit)
+
+        return RuntimeReport(
+            outcomes=[o for o in outcomes if o is not None],
+            elapsed=time.time() - started,
+            pool_generations=generations,
+        )
+
+    # -- execution layers -------------------------------------------------
+
+    def _store(self, index: int, keys, record: Dict) -> None:
+        if self.config.cache is not None and keys[index] is not None:
+            self.config.cache.put(keys[index], record)
+
+    def _run_inline(self, tasks, keys, pending: List[int], emit,
+                    source: str = "inline",
+                    max_attempts: Optional[int] = None,
+                    prior_attempts: Optional[Dict[int, int]] = None) -> None:
+        """Serial fallback: run each pending task in this process."""
+        budget = (max_attempts if max_attempts is not None
+                  else self.config.retries + 1)
+        for index in pending:
+            task = tasks[index]
+            attempts = 0
+            record = None
+            error = None
+            while record is None and attempts < budget:
+                attempts += 1
+                try:
+                    record = execute_task(task)
+                except Exception as exc:   # noqa: BLE001 — recorded per-task
+                    error = f"{type(exc).__name__}: {exc}"
+            if record is not None:
+                self._store(index, keys, record)
+            total = attempts + (prior_attempts or {}).get(index, 0)
+            emit(index, TaskOutcome(task=task, record=record, source=source,
+                                    attempts=total, error=error))
+
+    def _run_pool(self, tasks, keys, pending: List[int], emit) -> int:
+        """Fan pending tasks over worker processes.
+
+        Each iteration of the outer loop is one *pool generation*: a
+        broken pool (a worker died mid-task) discards the generation,
+        bumps the attempt count of every unfinished task, and starts
+        a fresh pool with the survivors.  Tasks whose attempts exceed
+        ``retries`` fall through to inline execution — the exclusion
+        that keeps a crashing config from looping forever.
+        """
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:                      # pragma: no cover — non-POSIX
+            context = multiprocessing.get_context()
+
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        remaining = list(pending)
+        generations = 0
+        while remaining:
+            runnable = [i for i in remaining
+                        if attempts[i] <= self.config.retries]
+            excluded = [i for i in remaining if i not in runnable]
+            if excluded:
+                # Last resort for tasks that exhausted their pool
+                # retries (crash suspects or persistent failures):
+                # one attempt in the parent, where an ordinary
+                # exception is catchable and only a genuine
+                # interpreter abort can take the sweep down.
+                self._run_inline(tasks, keys, excluded, emit,
+                                 max_attempts=1, prior_attempts=attempts)
+            remaining = runnable
+            if not remaining:
+                break
+            generations += 1
+            workers = min(self.config.jobs, len(runnable))
+            finished: List[int] = []
+            broke = False
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=context) as pool:
+                futures = {
+                    pool.submit(execute_task, tasks[index]): index
+                    for index in runnable
+                }
+                not_done = set(futures)
+                while not_done and not broke:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            broke = True
+                            continue
+                        except Exception:  # noqa: BLE001 — retried below
+                            continue
+                        finished.append(index)
+                        self._store(index, keys, record)
+                        emit(index, TaskOutcome(
+                            task=tasks[index], record=record, source="pool",
+                            attempts=attempts[index] + 1,
+                        ))
+            # A broken pool cannot say which task killed it, so every
+            # unfinished task of the generation — crashed, errored, or
+            # merely queued behind the crash — is charged one attempt;
+            # innocent tasks simply succeed in the next generation.
+            remaining = [i for i in runnable if i not in finished]
+            for index in remaining:
+                attempts[index] += 1
+        return max(1, generations)
+
+
+def run_tasks(
+    tasks: Sequence[SimTask],
+    runtime: Optional[SweepRuntime] = None,
+) -> RuntimeReport:
+    """Run tasks through ``runtime`` (default: serial, uncached)."""
+    if runtime is None:
+        runtime = SweepRuntime()
+    return runtime.run(tasks)

@@ -1,0 +1,99 @@
+"""Named task grids for the paper's sweep-shaped experiments.
+
+One definition per figure, shared by the CLI (``repro sweep --preset
+fig9``) and the benchmark suite, so the grid a benchmark asserts on
+is exactly the grid a user can run — and both hit the same cache
+entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.planner import PlannerConfig
+from repro.hardware.server import Server, dgx1_server, dgx2_server
+from repro.job import dapple_job, pipedream_job
+from repro.models import bert_variant, gpt_variant
+from repro.runtime.task import SimTask
+
+FIG7_SIZES = (0.35, 0.64, 1.67, 4.0, 6.2)
+FIG7_SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "d2d-only", "mpress")
+
+FIG8_SIZES = (5.3, 10.3, 15.4, 20.4, 25.5)
+FIG8_COLUMNS = ("none", "recomputation", "zero-offload", "zero-infinity",
+                "mpress")
+
+# Figure 9 ablation: the four planner variants, normalized to default.
+FIG9_VARIANTS: Dict[str, PlannerConfig] = {
+    "default": PlannerConfig(mapping_mode="identity", striping=False),
+    "+dev-mapping": PlannerConfig(mapping_mode="auto", striping=False),
+    "+striping": PlannerConfig(mapping_mode="identity", striping=True),
+    "+both": PlannerConfig(mapping_mode="auto", striping=True),
+}
+
+
+def fig7_tasks(server: Server = None) -> List[SimTask]:
+    """Figure 7 grid: Bert sizes x memory-saving systems (PipeDream)."""
+    server = server if server is not None else dgx1_server()
+    tasks = []
+    for billions in FIG7_SIZES:
+        job = pipedream_job(bert_variant(billions), server)
+        for system in FIG7_SYSTEMS:
+            tasks.append(SimTask(
+                label=f"fig7/bert-{billions}/{system}",
+                job=job,
+                system=system,
+            ))
+    return tasks
+
+
+def fig8_tasks(server: Server = None) -> List[SimTask]:
+    """Figure 8 grid: GPT sizes x systems incl. ZeRO (DAPPLE)."""
+    server = server if server is not None else dgx1_server()
+    tasks = []
+    for billions in FIG8_SIZES:
+        job = dapple_job(gpt_variant(billions), server)
+        for system in FIG8_COLUMNS:
+            tasks.append(SimTask(
+                label=f"fig8/{server.name}/gpt-{billions}/{system}",
+                job=job,
+                system=system,
+            ))
+    return tasks
+
+
+def fig9_tasks(servers=None) -> List[SimTask]:
+    """Figure 9 ablation grid: GPT-15.4B x planner variants x servers."""
+    if servers is None:
+        servers = (dgx1_server(), dgx2_server())
+    tasks = []
+    for server in servers:
+        job = dapple_job(gpt_variant(15.4), server)
+        for name, config in FIG9_VARIANTS.items():
+            tasks.append(SimTask(
+                label=f"fig9/{server.name}/{name}",
+                job=job,
+                system="mpress",
+                config=config,
+            ))
+    return tasks
+
+
+PRESETS = {
+    "fig7": lambda: fig7_tasks(),
+    "fig8-dgx1": lambda: fig8_tasks(dgx1_server()),
+    "fig8-dgx2": lambda: fig8_tasks(dgx2_server()),
+    "fig9": lambda: fig9_tasks(),
+}
+
+
+def preset_tasks(name: str) -> List[SimTask]:
+    """Expand one named grid (CLI ``--preset``)."""
+    from repro.errors import ConfigurationError
+
+    builder = PRESETS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown sweep preset {name!r}; options: {sorted(PRESETS)}"
+        )
+    return builder()

@@ -1,0 +1,264 @@
+"""Sweep tasks: one content-addressed simulation unit.
+
+A :class:`SimTask` is the runtime's unit of work — everything one
+simulation needs, as picklable data (no callables), so it can cross a
+process boundary and be hashed into a cache key.  Three shapes cover
+every sweep in the repository:
+
+* **system runs** — ``run_system(job, system)``, the Figures 7/8
+  columns;
+* **planner-config runs** — ``MPress(job, config).run()``, the
+  Figure 9 ablation variants;
+* **plan replays** — ``simulate(job, plan, faults=...)``, the
+  resilience campaigns that re-execute a fixed plan under faults;
+* **ZeRO baselines** — the analytic ``run_zero`` models.
+
+Executing a task produces a plain-JSON *record* (metrics, per-GPU
+peaks, the plan payload, a trace digest) rather than the live
+``SimulationResult`` — records are small, picklable, cacheable, and
+deterministic, which is what makes content-addressed caching and
+golden-trace regression possible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.plan import MemorySavingPlan
+from repro.core.planner import PlannerConfig
+from repro.core.serialization import (
+    canonical_payload,
+    config_digest,
+    plan_to_dict,
+)
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSchedule
+from repro.job import TrainingJob
+
+# Code-relevant version salt: bump whenever simulator/planner
+# semantics change, so stale cache entries can never satisfy a sweep
+# run against newer code (see docs/runtime.md).
+RUNTIME_CACHE_SALT = "repro-runtime-1"
+
+# Schema version of the record dicts below.
+RECORD_VERSION = 1
+
+_SYSTEMS = ("none", "recomputation", "gpu-cpu-swap", "d2d-only", "mpress")
+_ZERO_SYSTEMS = ("zero-offload", "zero-infinity")
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent simulation in a sweep.
+
+    ``label`` is cosmetic (progress lines, tables) and excluded from
+    the cache key; every other field is semantic.  When ``plan`` is
+    set the task *replays* that plan through the executor instead of
+    planning from scratch; when ``config`` is set the task runs the
+    MPress facade under that explicit planner configuration.
+    """
+
+    label: str
+    job: TrainingJob
+    system: str = "mpress"
+    config: Optional[PlannerConfig] = None
+    faults: Optional[FaultSchedule] = None
+    plan: Optional[MemorySavingPlan] = None
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        known = _SYSTEMS + _ZERO_SYSTEMS
+        if self.system not in known:
+            raise ConfigurationError(
+                f"unknown sweep system {self.system!r}; options: {sorted(known)}"
+            )
+        if self.system in _ZERO_SYSTEMS and (
+            self.config is not None or self.plan is not None
+        ):
+            raise ConfigurationError(
+                "ZeRO tasks take no planner config or plan"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.system in _ZERO_SYSTEMS
+
+    def key_payload(self) -> Dict:
+        """The semantic content hashed into the cache key."""
+        return {
+            "job": canonical_payload(self.job),
+            "system": self.system,
+            "config": canonical_payload(self.config),
+            "faults": canonical_payload(self.faults),
+            "plan": (
+                canonical_payload(plan_to_dict(self.plan))
+                if self.plan is not None else None
+            ),
+        }
+
+    def cache_key(self) -> str:
+        """Content address of this task's result."""
+        return config_digest(self.key_payload(), salt=RUNTIME_CACHE_SALT)
+
+
+def trace_digest(trace) -> str:
+    """SHA-256 of the chrome-trace lowering of a simulation trace.
+
+    Byte-identical re-simulation implies equal digests; goldens and
+    cache records store the digest instead of the (large) trace.
+    """
+    from repro.sim.chrome_trace import trace_to_events
+
+    text = json.dumps(
+        trace_to_events(trace), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def execute_task(task: SimTask) -> Dict:
+    """Run one task to completion and lower the outcome to a record.
+
+    This is the function sweep workers execute; everything it returns
+    must be plain JSON so the result cache can persist it verbatim.
+    """
+    if task.is_zero:
+        return _execute_zero(task)
+    if task.plan is not None:
+        from repro.sim.executor import simulate
+
+        simulation = simulate(
+            task.job, task.plan, strict=True, faults=task.faults
+        )
+        return _simulation_record(task, simulation, plan=task.plan,
+                                  feasible=None)
+    if task.config is not None:
+        from repro.core.mpress import MPress
+
+        result = MPress(task.job, task.config, faults=task.faults).run()
+    else:
+        from repro.core.mpress import run_system
+
+        result = run_system(task.job, task.system, faults=task.faults)
+    return _simulation_record(
+        task,
+        result.simulation,
+        plan=result.plan,
+        feasible=result.planner_report.feasible,
+    )
+
+
+def _simulation_record(task: SimTask, simulation, plan, feasible) -> Dict:
+    record = {
+        "version": RECORD_VERSION,
+        "label": task.label,
+        "system": task.system,
+        "ok": simulation.ok,
+        "oom": str(simulation.oom) if simulation.oom is not None else None,
+        "tflops": simulation.tflops,
+        "samples_per_second": simulation.samples_per_second,
+        "minibatch_time": simulation.minibatch_time,
+        "makespan": simulation.makespan if simulation.ok else 0.0,
+        "peak_bytes_per_gpu": (
+            list(simulation.peak_memory_per_gpu) if simulation.ok else []
+        ),
+        "feasible": feasible,
+        "plan": plan_to_dict(plan) if plan is not None else None,
+        "trace_digest": trace_digest(simulation.trace) if simulation.ok else None,
+        "n_trace_events": len(simulation.trace.events) if simulation.ok else 0,
+        "resilience": None,
+        "zero": None,
+    }
+    report = simulation.resilience
+    if report is not None:
+        record["resilience"] = {
+            "n_faults": len(task.faults) if task.faults is not None else 0,
+            "n_failures": len(report.failures),
+            "goodput_samples_per_second": report.goodput_samples_per_second,
+            "recovery_seconds": report.total_recovery_seconds,
+            "lost_seconds": report.lost_seconds,
+        }
+    return record
+
+
+def _execute_zero(task: SimTask) -> Dict:
+    from repro.baselines.zero import run_zero
+
+    variant = task.system.split("-", 1)[1]
+    result = run_zero(
+        task.job.model,
+        task.job.server,
+        variant,
+        task.job.samples_per_minibatch,
+    )
+    return {
+        "version": RECORD_VERSION,
+        "label": task.label,
+        "system": task.system,
+        "ok": result.ok,
+        "oom": None if result.ok else result.reason,
+        "tflops": result.tflops,
+        "samples_per_second": (
+            task.job.samples_per_minibatch / result.minibatch_time
+            if result.ok and result.minibatch_time > 0 else 0.0
+        ),
+        "minibatch_time": result.minibatch_time,
+        "makespan": result.minibatch_time,
+        "peak_bytes_per_gpu": (
+            [result.per_gpu_memory] * task.job.server.n_gpus
+            if result.ok else []
+        ),
+        "feasible": result.ok,
+        "plan": None,
+        "trace_digest": None,
+        "n_trace_events": 0,
+        "resilience": None,
+        "zero": {
+            "variant": result.variant,
+            "reason": result.reason,
+            "compute_time": result.compute_time,
+            "comm_exposed": result.comm_exposed,
+            "offload_exposed": result.offload_exposed,
+            "host_bytes": result.host_bytes,
+        },
+    }
+
+
+def peak_gib(record: Dict) -> float:
+    """Largest per-GPU peak of a record, in GiB (0.0 for OOM cells)."""
+    peaks = record.get("peak_bytes_per_gpu") or []
+    return max(peaks) / 2**30 if peaks else 0.0
+
+
+RECORD_CSV_FIELDS = ["label", "system", "ok", "tflops", "samples_per_second",
+                     "minibatch_time", "peak_gib"]
+
+
+def records_to_csv(records) -> str:
+    """Render runtime records as CSV text (one row per task).
+
+    Formatting matches :func:`repro.analysis.sweep.to_csv`, so two
+    runs of the same grid produce byte-identical files whenever their
+    records match — the property the cache-roundtrip CI job asserts.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=RECORD_CSV_FIELDS)
+    writer.writeheader()
+    for record in records:
+        if record is None:
+            continue
+        writer.writerow({
+            "label": record["label"],
+            "system": record["system"],
+            "ok": int(bool(record["ok"])),
+            "tflops": f"{record['tflops']:.3f}",
+            "samples_per_second": f"{record['samples_per_second']:.3f}",
+            "minibatch_time": f"{record['minibatch_time']:.6f}",
+            "peak_gib": f"{peak_gib(record):.3f}",
+        })
+    return buffer.getvalue()

@@ -10,6 +10,27 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/goldens/*.json instead of asserting",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly ``slow`` is tier-1 (see tests/README.md)."""
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
 from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
 from repro.hardware.links import NVLINK2
 from repro.hardware.server import Server

@@ -1,0 +1,51 @@
+"""Every benchmark module must import cleanly and expose tests.
+
+The benchmarks replay full DGX-scale experiments, so tier-1 cannot
+afford to *run* them — but an import error or a module that silently
+lost its test functions would otherwise go unnoticed until someone
+regenerates the paper figures.  Importing also type-checks each
+module's wiring against the runtime/preset APIs it uses.
+"""
+
+from __future__ import annotations
+
+import glob
+import importlib.util
+import inspect
+import os
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+BENCH_FILES = sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+
+
+def _load(path):
+    name = f"bench_smoke_{os.path.splitext(os.path.basename(path))[0]}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_benchmark_files_exist():
+    assert len(BENCH_FILES) >= 15
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_FILES, ids=[os.path.basename(p) for p in BENCH_FILES])
+def test_benchmark_imports_and_has_tests(path):
+    module = _load(path)
+    tests = [
+        obj for name, obj in vars(module).items()
+        if name.startswith("test_") and inspect.isfunction(obj)
+    ]
+    assert tests, f"{os.path.basename(path)} defines no test functions"
+    for func in tests:
+        # Every parameter must be a fixture our conftest or pytest
+        # provides — a renamed fixture fails here, not at bench time.
+        for param in inspect.signature(func).parameters:
+            assert param in {"once", "benchmark", "runtime", "server",
+                             "request", "tmp_path", "capsys"}, (
+                f"{func.__name__} requests unknown fixture {param!r}"
+            )

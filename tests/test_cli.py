@@ -121,6 +121,53 @@ class TestFaultFlags:
         assert "seed" in capsys.readouterr().err
 
 
+class TestSweepAndCache:
+    def test_sweep_runs_and_writes_csv(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "sweep.csv")
+        code = main([
+            "sweep", "--models", "bert-0.35", "--systems", "none",
+            "--quiet", "--csv", csv_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bert-0.35/none" in out
+        assert "executed=1" in out
+        with open(csv_path) as handle:
+            header, row = handle.read().strip().splitlines()
+        assert header.startswith("label,system,ok")
+        assert row.startswith("bert-0.35/none,none,1,")
+
+    def test_sweep_rerun_is_fully_cached(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--models", "bert-0.35", "--systems", "none",
+                "--quiet", "--cache", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed=1 cached=0" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed=0 cached=1" in second
+
+    def test_sweep_requires_preset_or_models(self, capsys):
+        assert main(["sweep", "--systems", "none"]) == 2
+        assert "either --preset or --models" in capsys.readouterr().err
+
+    def test_unknown_preset_is_config_error(self, capsys):
+        assert main(["sweep", "--preset", "fig99"]) == 2
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--models", "bert-0.35", "--systems", "none",
+              "--quiet", "--cache", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", cache_dir]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
 class TestPlannerKnobs:
     def test_no_striping_and_identity_mapping(self, capsys):
         code = main([

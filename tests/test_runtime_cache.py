@@ -1,0 +1,74 @@
+"""Content-addressed result cache: storage, corruption, lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.runtime.cache import ENTRY_VERSION, ResultCache
+
+
+def _key(n: int) -> str:
+    return f"{n:02x}" + "0" * 62
+
+
+def test_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    record = {"label": "a", "tflops": 1.25, "plan": {"stripes": [1, 2]}}
+    assert cache.get(_key(1)) is None
+    cache.put(_key(1), record)
+    assert cache.get(_key(1)) == record
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_entries_are_sharded_by_key_prefix(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(0xAB), {"label": "x"})
+    assert os.path.exists(tmp_path / "ab" / (_key(0xAB) + ".json"))
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(2), {"label": "ok"})
+    path = tmp_path / "02" / (_key(2) + ".json")
+    path.write_text("{not json")
+    assert cache.get(_key(2)) is None
+
+
+def test_wrong_entry_version_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(3), {"label": "ok"})
+    path = tmp_path / "03" / (_key(3) + ".json")
+    entry = json.loads(path.read_text())
+    entry["version"] = ENTRY_VERSION + 1
+    path.write_text(json.dumps(entry))
+    assert cache.get(_key(3)) is None
+
+
+def test_put_overwrites(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(4), {"label": "old"})
+    cache.put(_key(4), {"label": "new"})
+    assert cache.get(_key(4))["label"] == "new"
+
+
+def test_stats_and_clear(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for n in range(3):
+        cache.put(_key(n), {"label": str(n)})
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.total_bytes > 0
+    assert "3 entries" in stats.summary()
+    assert sorted(cache.keys()) == sorted(_key(n) for n in range(3))
+    removed = cache.clear()
+    assert removed == 3
+    assert cache.stats().entries == 0
+    assert cache.get(_key(0)) is None
+
+
+def test_missing_root_stats(tmp_path):
+    cache = ResultCache(str(tmp_path / "never-created"))
+    assert cache.stats().entries == 0
+    assert cache.clear() == 0
