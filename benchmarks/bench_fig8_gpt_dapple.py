@@ -19,7 +19,7 @@ from repro.hardware import dgx1_server, dgx2_server
 from repro.job import dapple_job
 from repro.models import gpt_variant
 from repro.runtime import SimTask
-from repro.runtime.presets import FIG8_COLUMNS, FIG8_SIZES, fig8_tasks
+from repro.runtime.presets import FIG8_SIZES, fig8_tasks
 
 SIZES = FIG8_SIZES
 # Paper column names; the runtime's system names are in FIG8_COLUMNS.

@@ -13,6 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -311,8 +312,10 @@ def _cmd_cache(args) -> int:
 
     cache = ResultCache(args.cache)
     if args.action == "stats":
-        stats = cache.stats()
-        print(stats.summary())
+        if args.json:
+            print(json.dumps(cache.stats_dict(), indent=2, sort_keys=True))
+        else:
+            print(cache.stats().summary())
         return 0
     removed = cache.clear()
     print(f"{args.cache}: removed {removed} entries")
@@ -403,6 +406,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or evict the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache", required=True, metavar="DIR")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable stats (entries, bytes, shards)")
     cache.set_defaults(func=_cmd_cache)
 
     return parser

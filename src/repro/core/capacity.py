@@ -17,7 +17,6 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.mpress import run_system
 from repro.errors import ConfigurationError
-from repro.hardware.server import Server
 from repro.job import TrainingJob
 from repro.models.layers import ModelSpec
 

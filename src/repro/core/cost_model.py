@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.core.striping import StripePlan, build_stripe_plan
 from repro.errors import PlanError
 from repro.graph.liveness import LiveInterval
-from repro.graph.tensor import TensorClass, TensorKind
+from repro.graph.tensor import TensorClass
 from repro.hardware.bandwidth import transfer_time
 from repro.job import TrainingJob
 

@@ -9,12 +9,15 @@ planner compares against previous configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.plan import Action, MemorySavingPlan
 from repro.core.rewriter import InstrumentedProgram
 from repro.job import TrainingJob
-from repro.sim.executor import SimulationResult, simulate
+from repro.sim.executor import SimulationResult
+from repro.sim.interpreter import Interpreter
+from repro.sim.ir import ExecOptions
+from repro.sim.lowering import Lowering
 
 
 @dataclass
@@ -40,16 +43,24 @@ class EmulationReport:
 
 
 class Emulator:
-    """Runs plans through the simulator in measurement mode."""
+    """Runs plans through the simulator in measurement mode.
+
+    The plan-independent lowering skeleton (data-flow program, tensor
+    classification) is built once at construction and shared across
+    every :meth:`run` — the planner's tighten/refine loop only pays
+    for per-plan instruction emission and interpretation.
+    """
 
     def __init__(self, job: TrainingJob, prefetch_lead: int = 2):
         self.job = job
         self.prefetch_lead = prefetch_lead
+        self.options = ExecOptions(strict=False, prefetch_lead=prefetch_lead)
+        self._lowering = Lowering(job, self.options)
+        self.n_emulations = 0
 
     def run(self, plan: MemorySavingPlan) -> EmulationReport:
-        result = simulate(
-            self.job, plan, strict=False, prefetch_lead=self.prefetch_lead
-        )
+        self.n_emulations += 1
+        result = Interpreter(self._lowering.lower(plan)).run()
         capacity = self.job.server.gpu_memory
         peaks = result.memory.peaks()
         overflowed = [dev for dev, peak in enumerate(peaks) if peak > capacity]

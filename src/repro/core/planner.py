@@ -28,7 +28,7 @@ against what the hardware will actually deliver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.cost_model import CostModel
@@ -77,6 +77,9 @@ class PlannerReport:
     refine_iterations: int = 0
     accepted_upgrades: int = 0
     emulation_times: List[float] = field(default_factory=list)
+    # Candidate plans emulated during the search; all of them share
+    # one lowering skeleton (the Emulator lowers per plan only).
+    n_emulations: int = 0
     # Fault-aware planning (set when a fault profile was supplied).
     fault_profile: Optional[FaultSchedule] = None
     avoided_importers: List[int] = field(default_factory=list)
@@ -113,6 +116,9 @@ class Planner:
         self._classes_by_key = {cls.key: cls for cls in profile.classes}
         cost_model = CostModel(self.job, device_map, profile.intervals)
         rewriter = Rewriter(self.job, profile.classes)
+        # One emulator for the whole search: the tighten/refine loop
+        # re-interprets candidate plans against a single cached
+        # lowering skeleton instead of re-walking the graph per plan.
         emulator = Emulator(self.job, prefetch_lead=self.config.prefetch_lead)
 
         assignments, feasible = self._initial_assignments(profile, device_map, cost_model)
@@ -173,6 +179,7 @@ class Planner:
                 report,
             )
         report.final_time = report.emulation_times[-1]
+        report.n_emulations = emulator.n_emulations
         return plan, report
 
     # -- device mapping ---------------------------------------------------

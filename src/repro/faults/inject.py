@@ -20,19 +20,27 @@ fault in a :class:`~repro.faults.spec.FaultSchedule`:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List
 
 from repro.faults.report import FailureRecord, ResilienceReport
 from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
 from repro.hardware.bandwidth import transfer_time
+from repro.sim.events import DeviceFailed, FaultWindowClosed, FaultWindowOpened
 from repro.sim.trace import TraceEvent
 
 
 class FaultInjector:
-    """Wires one fault schedule into one executor's engine."""
+    """Wires one fault schedule into one simulation's engine.
+
+    When an event ``bus`` is given, failures and fault windows are
+    published on it (:class:`~repro.sim.events.DeviceFailed`,
+    :class:`~repro.sim.events.FaultWindowOpened`/``Closed``) and trace
+    recording is left to bus subscribers; without one the injector
+    writes recovery trace events directly (legacy executor path).
+    """
 
     def __init__(self, schedule: FaultSchedule, engine, streams, job,
-                 memory, trace, record_trace: bool = True):
+                 memory, trace, record_trace: bool = True, bus=None):
         self.schedule = schedule
         self.engine = engine
         self.streams = streams
@@ -40,6 +48,7 @@ class FaultInjector:
         self.memory = memory
         self.trace = trace
         self.record_trace = record_trace
+        self.bus = bus
         self.failures: List[FailureRecord] = []
         # Active window factors per stream key; the rate applied is
         # their product, so unwinding a window restores exactly 1.0.
@@ -90,6 +99,16 @@ class FaultInjector:
         for key in keys:
             self._active.setdefault(key, []).append(fault.factor)
             self._apply_rate(key)
+        if self.bus is not None:
+            self.bus.publish(
+                FaultWindowOpened(
+                    kind=fault.kind.value,
+                    device=fault.device,
+                    factor=fault.factor,
+                    time=self.engine.now,
+                    stream_keys=tuple(keys),
+                )
+            )
 
     def _close_window(self, fault: FaultSpec, keys: List[Hashable]) -> None:
         for key in keys:
@@ -97,6 +116,16 @@ class FaultInjector:
             if fault.factor in factors:
                 factors.remove(fault.factor)
             self._apply_rate(key)
+        if self.bus is not None:
+            self.bus.publish(
+                FaultWindowClosed(
+                    kind=fault.kind.value,
+                    device=fault.device,
+                    factor=fault.factor,
+                    time=self.engine.now,
+                    stream_keys=tuple(keys),
+                )
+            )
 
     def _apply_rate(self, key: Hashable) -> None:
         if key not in self.streams:
@@ -137,7 +166,20 @@ class FaultInjector:
             resume_time=now + recovery,
         )
         self.failures.append(record)
-        if self.record_trace:
+        if self.bus is not None:
+            # TraceRecorder (attached iff record_trace) turns this
+            # into the same recovery trace event the legacy path wrote.
+            self.bus.publish(
+                DeviceFailed(
+                    device=fault.device,
+                    time=now,
+                    resume_time=now + recovery,
+                    lost_seconds=lost,
+                    reload_bytes=reload_bytes,
+                    reload_seconds=reload_seconds,
+                )
+            )
+        elif self.record_trace:
             self.trace.record(
                 TraceEvent(
                     name=f"recovery.gpu{fault.device}",

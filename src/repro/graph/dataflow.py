@@ -48,6 +48,9 @@ class Program:
     schedule: PipelineSchedule
     per_stage: List[List[ComputeNode]]
     by_key: Dict[NodeKey, ComputeNode]
+    _flat: Optional[List[ComputeNode]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_stages(self) -> int:
@@ -61,7 +64,23 @@ class Program:
         return found
 
     def nodes(self) -> List[ComputeNode]:
-        return [node for stage_nodes in self.per_stage for node in stage_nodes]
+        # Cached: lowering walks the full node list several times per
+        # plan and the per-stage grouping never changes after build.
+        if self._flat is None:
+            self._flat = [node for stage_nodes in self.per_stage for node in stage_nodes]
+        return self._flat
+
+    def first_backward_by_minibatch(self, stage: int) -> Dict[int, ComputeNode]:
+        """First backward node per minibatch on ``stage``, in issue order.
+
+        Anchors chunked optimizer-state prefetches: the minibatch's
+        swap-ins may begin once its first backward starts clearing.
+        """
+        first: Dict[int, ComputeNode] = {}
+        for node in self.per_stage[stage]:
+            if node.kind is OpKind.BACKWARD and node.minibatch not in first:
+                first[node.minibatch] = node
+        return first
 
     def predecessor_on_stage(self, node: ComputeNode, lead: int) -> Optional[ComputeNode]:
         """The compute node ``lead`` positions before ``node`` on its stage.

@@ -11,11 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import List
 
 from repro.errors import ConfigurationError
 from repro.hardware.server import Server
-from repro.models import costs
 from repro.models.layers import LayerSpec, ModelSpec
 from repro.pipeline.dapple import dapple_schedule
 from repro.pipeline.gpipe import gpipe_schedule

@@ -31,10 +31,20 @@ class CacheStats:
     root: str
     entries: int
     total_bytes: int
+    shards: int = 0
 
     def summary(self) -> str:
         mib = self.total_bytes / 2**20
         return f"{self.root}: {self.entries} entries, {mib:.2f} MiB"
+
+    def to_dict(self) -> Dict:
+        """Machine-readable form (``repro cache stats --json``)."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "shards": self.shards,
+        }
 
 
 class ResultCache:
@@ -108,13 +118,24 @@ class ResultCache:
     def stats(self) -> CacheStats:
         entries = 0
         total = 0
+        shards = set()
         for path in self._entry_paths():
             try:
                 total += os.path.getsize(path)
             except OSError:
                 continue
             entries += 1
-        return CacheStats(root=self.root, entries=entries, total_bytes=total)
+            shards.add(os.path.basename(os.path.dirname(path)))
+        return CacheStats(
+            root=self.root, entries=entries, total_bytes=total, shards=len(shards)
+        )
+
+    def stats_dict(self) -> Dict:
+        """Directory snapshot plus this instance's hit/miss counters."""
+        snapshot = self.stats().to_dict()
+        snapshot["hits"] = self.hits
+        snapshot["misses"] = self.misses
+        return snapshot
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

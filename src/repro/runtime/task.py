@@ -18,6 +18,14 @@ peaks, the plan payload, a trace digest) rather than the live
 ``SimulationResult`` — records are small, picklable, cacheable, and
 deterministic, which is what makes content-addressed caching and
 golden-trace regression possible.
+
+The simulator behind :func:`execute_task` lowers each run through the
+instruction IR (``repro.sim.lowering`` → ``repro.sim.interpreter``;
+see ``docs/architecture.md``).  That pipeline replays the exact same
+event stream as the pre-IR executor, so cache keys, record payloads,
+and trace digests are unchanged — ``RUNTIME_CACHE_SALT`` deliberately
+stays at its pre-refactor value and shared cache directories remain
+warm across the split.
 """
 
 from __future__ import annotations

@@ -1,17 +1,19 @@
-"""Post-run simulation audits.
+"""Simulation audits: post-run sweeps and a live event-bus auditor.
 
-A completed :class:`~repro.sim.executor.SimulationResult` carries the
-full event trace and memory books; these audits verify the invariants
-any correct execution must satisfy — causality between matching
-forward/backward passes, swap pairing, non-overlapping compute per
-device, and memory conservation.  They run in tests and are available
-to users debugging custom plans.
+A completed :class:`~repro.sim.interpreter.SimulationResult` carries
+the full event trace and memory books; these audits verify the
+invariants any correct execution must satisfy — causality between
+matching forward/backward passes, swap pairing, non-overlapping
+compute per device, and memory conservation.  They run in tests and
+are available to users debugging custom plans.
 
 Faulted runs (a :class:`~repro.faults.report.ResilienceReport` on the
 result) get two additional invariants: no compute may start inside a
 device-failure outage window, and each recovery's reload bytes must
 match the state actually resident on the failed device at the instant
-it died.
+it died.  :class:`FaultWindowAuditor` checks the outage invariant
+*live* by subscribing to the interpreter's event bus instead of
+scanning the finished trace.
 """
 
 from __future__ import annotations
@@ -22,7 +24,9 @@ from typing import Dict, List, Tuple
 
 from repro.graph.tensor import TensorKind, tensor_classes_for
 from repro.hardware.bandwidth import transfer_time
-from repro.sim.executor import SimulationResult
+from repro.sim.events import DeviceFailed, EventBus, InstructionStarted
+from repro.sim.interpreter import SimulationResult
+from repro.sim.ir import Compute, OptimStep, Recompute
 
 
 @dataclass
@@ -54,6 +58,50 @@ def audit_simulation(result: SimulationResult) -> AuditReport:
         report.extend(_audit_outage_windows(result))
         report.extend(_audit_recovery_reload(result))
     return report
+
+
+class FaultWindowAuditor:
+    """Live outage-window auditor for the interpreter's event bus.
+
+    Subscribes to :class:`~repro.sim.events.DeviceFailed` and
+    :class:`~repro.sim.events.InstructionStarted` and flags any
+    compute-class instruction (forward/backward/recompute/optimizer)
+    that begins inside a failure's synchronous-recovery window — the
+    same invariant :func:`_audit_outage_windows` checks post-hoc,
+    verified as the simulation unfolds.
+
+    Usage::
+
+        auditor = FaultWindowAuditor()
+        Interpreter(program, subscribers=(auditor,)).run()
+        assert auditor.ok
+    """
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+        self._outages: List[Tuple[int, float, float]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(DeviceFailed, self.on_device_failed)
+        bus.subscribe(InstructionStarted, self.on_instruction_started)
+
+    def on_device_failed(self, event: DeviceFailed) -> None:
+        self._outages.append((event.device, event.time, event.resume_time))
+
+    def on_instruction_started(self, event: InstructionStarted) -> None:
+        instr = event.instruction
+        if not isinstance(instr, (Compute, Recompute, OptimStep)):
+            return
+        for device, start, resume in self._outages:
+            if start - 1e-12 < event.time < resume - 1e-9:
+                self.violations.append(
+                    f"{instr.name} starts at {event.time:.6f} inside the "
+                    f"gpu{device} outage [{start:.6f}, {resume:.6f})"
+                )
 
 
 def _compute_events(result: SimulationResult, kind: str):

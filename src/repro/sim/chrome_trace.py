@@ -65,6 +65,28 @@ def trace_to_events(trace: Trace) -> List[Dict]:
     return events
 
 
+def counter_events(trace: Trace) -> List[Dict]:
+    """Per-device memory Counter events (``"ph": "C"``).
+
+    Built from the ``trace.counters`` samples the interpreter's
+    :class:`~repro.sim.events.MemoryCounterSampler` collects off the
+    event bus; each device gets a ``GPU<i> mem (MiB)`` counter track
+    rendered next to its compute/copy rows.  Deliberately excluded
+    from :func:`trace_to_events` so golden trace digests are
+    unaffected by counter instrumentation.
+    """
+    events: List[Dict] = []
+    for sample in trace.counters:
+        events.append({
+            "name": f"GPU{sample.device} mem (MiB)",
+            "ph": "C",
+            "ts": sample.time * 1e6,
+            "pid": sample.device,
+            "args": {"MiB": sample.bytes_in_use / 2**20},
+        })
+    return events
+
+
 def fault_events(faults) -> List[Dict]:
     """Chrome events marking every injected fault window.
 
@@ -99,6 +121,7 @@ def trace_to_chrome(trace: Trace, device_names: Dict[int, str] = None,
     events = trace_to_events(trace)
     if faults is not None:
         events.extend(fault_events(faults))
+    events.extend(counter_events(trace))
     devices = sorted({e["pid"] for e in events})
     for device in devices:
         if device == _FAULT_PID:

@@ -1,0 +1,196 @@
+"""Synchronous event bus decoupling observers from the interpreter.
+
+The interpreter publishes what *happened* (an instruction started or
+completed, a memory book changed, a device failed, a fault window
+opened); subscribers decide what to do with it.  Trace recording,
+per-device memory counters, fault-window auditing, and chrome-trace
+annotation all hang off this bus instead of being branches inside the
+execution loop — adding an observer never touches the hot path.
+
+Publishing is synchronous and in subscription order, so subscriber
+side effects land at deterministic points of the simulation (the
+golden-trace suite depends on recovery events interleaving exactly
+where the legacy executor wrote them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Tuple, Type, Union
+
+from repro.sim.trace import CounterSample, Trace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.ir import Instruction, Record
+
+
+# -- events -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstructionStarted:
+    """An instruction began executing on its stream."""
+
+    instruction: "Instruction"
+    time: float
+
+
+@dataclass(frozen=True)
+class InstructionCompleted:
+    """An instruction carrying a :class:`~repro.sim.ir.Record` effect finished."""
+
+    instruction: "Instruction"
+    record: "Record"
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class MemoryChanged:
+    """A device memory book changed by ``delta`` bytes (now ``in_use``)."""
+
+    device: Union[int, str]
+    delta: int
+    in_use: int
+    tag: str
+    time: float
+
+
+@dataclass(frozen=True)
+class DeviceFailed:
+    """A device failure triggered a synchronous checkpoint-restore."""
+
+    device: int
+    time: float
+    resume_time: float
+    lost_seconds: float
+    reload_bytes: int
+    reload_seconds: float
+
+
+@dataclass(frozen=True)
+class FaultWindowOpened:
+    """A windowed fault started throttling the listed stream keys."""
+
+    kind: str
+    device: int
+    factor: float
+    time: float
+    stream_keys: Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class FaultWindowClosed:
+    """A windowed fault stopped throttling the listed stream keys."""
+
+    kind: str
+    device: int
+    factor: float
+    time: float
+    stream_keys: Tuple[Hashable, ...]
+
+
+Event = Union[
+    InstructionStarted,
+    InstructionCompleted,
+    MemoryChanged,
+    DeviceFailed,
+    FaultWindowOpened,
+    FaultWindowClosed,
+]
+
+
+# -- bus --------------------------------------------------------------------
+
+
+class EventBus:
+    """Type-keyed synchronous publish/subscribe."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[type, List[Callable]] = {}
+
+    def subscribe(self, event_type: Type, handler: Callable) -> None:
+        """Register ``handler`` for exact instances of ``event_type``."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def wants(self, event_type: Type) -> bool:
+        """True if any handler listens for ``event_type``.
+
+        The interpreter checks this once per run to skip building
+        publish closures nobody would receive.
+        """
+        return bool(self._handlers.get(event_type))
+
+    def publish(self, event) -> None:
+        for handler in self._handlers.get(type(event), ()):
+            handler(event)
+
+
+# -- built-in subscribers ---------------------------------------------------
+
+
+class TraceRecorder:
+    """Writes :class:`~repro.sim.trace.TraceEvent` rows from bus events.
+
+    Attached whenever ``ExecOptions.record_trace`` is set; produces
+    exactly the event sequence the legacy inlined hooks did, which is
+    what keeps golden chrome-trace digests stable.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(InstructionCompleted, self.on_completed)
+        bus.subscribe(DeviceFailed, self.on_device_failed)
+
+    def on_completed(self, event: InstructionCompleted) -> None:
+        record = event.record
+        self.trace.record(
+            TraceEvent(
+                name=event.instruction.name,
+                kind=record.kind,
+                device=record.device,
+                microbatch=record.microbatch,
+                start=event.start,
+                end=event.end,
+                layer=record.layer,
+            )
+        )
+
+    def on_device_failed(self, event: DeviceFailed) -> None:
+        self.trace.record(
+            TraceEvent(
+                name=f"recovery.gpu{event.device}",
+                kind="recovery",
+                device=event.device,
+                microbatch=-1,
+                start=event.time,
+                end=event.resume_time,
+            )
+        )
+
+
+class MemoryCounterSampler:
+    """Samples per-GPU memory usage into ``trace.counters``.
+
+    The samples feed chrome-trace Counter events (``"ph": "C"``) so
+    the memory timeline renders next to the compute/copy tracks; they
+    are deliberately kept out of :func:`repro.sim.chrome_trace.trace_to_events`
+    so trace digests are unaffected.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(MemoryChanged, self.on_memory_changed)
+
+    def on_memory_changed(self, event: MemoryChanged) -> None:
+        if not isinstance(event.device, int):
+            return  # host residency is not a per-GPU counter track
+        self.trace.counters.append(
+            CounterSample(
+                device=event.device, time=event.time, bytes_in_use=event.in_use
+            )
+        )

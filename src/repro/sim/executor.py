@@ -1,105 +1,38 @@
-"""Lower a (training job, memory-saving plan) into simulated execution.
+"""Thin facade: lower a (job, plan) and interpret the result.
 
-This is the simulated counterpart of MPress Runtime (Figure 5): the
-*executor* walks the instrumented data-flow program, issuing compute
-kernels on per-GPU FIFO streams and memory-saving operators
-(swap-out/swap-in/drop/recompute) on copy streams and link lanes,
-while the *memory manager* tracks per-device usage.
+This module used to be the simulator's 1000-line monolith; the logic
+now lives in three layers (the split mirrors MPress Runtime's
+planning/execution separation, Figure 5):
 
-Compute runs at **layer granularity**: each stage's forward/backward
-pass is a chain of per-layer tasks, so activations materialize
-progressively and swap-outs of early layers overlap the forward of
-later ones — the overlap behaviour the paper's runtime gets from
-dedicated CUDA copy streams (Section III-E).
+* :mod:`repro.sim.lowering` — walks the data-flow program and emits a
+  typed :class:`~repro.sim.ir.InstructionProgram`;
+* :mod:`repro.sim.interpreter` — replays the program on the
+  discrete-event engine/stream/memory substrate;
+* :mod:`repro.sim.events` — the bus observers (tracing, counters,
+  auditing, fault reporting) subscribe to.
+
+:func:`simulate` and :class:`PipelineExecutor` keep their historical
+signatures so callers (CLI, runtime cache tasks, planner, tests) are
+untouched; repeated-emulation callers should hold a
+:class:`~repro.sim.lowering.Lowering` and re-lower per plan instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-from repro.core.plan import Action, MemorySavingPlan, empty_plan, validate_plan
-from repro.errors import OutOfMemoryError, SimulationError
-from repro.faults.inject import FaultInjector
-from repro.faults.report import ResilienceReport
+from repro.core.plan import MemorySavingPlan
 from repro.faults.spec import FaultSchedule
-from repro.graph.dataflow import ComputeNode, Program, build_program
-from repro.graph.tensor import TensorClass, TensorKind, tensor_classes_for
-from repro.hardware.bandwidth import transfer_time
 from repro.job import TrainingJob
-from repro.pipeline.schedule import OpKind
-from repro.sim.engine import Engine, Task
-from repro.sim.memory import DeviceMemory, MemoryModel, PinnedPool
-from repro.sim.resources import StreamSet
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.interpreter import Interpreter, SimulationResult
+from repro.sim.ir import ExecOptions
+from repro.sim.lowering import Lowering
 
-
-@dataclass(frozen=True)
-class ExecOptions:
-    """Knobs of one simulation run.
-
-    ``prefetch_lead`` — a swap-in may begin once the compute task
-    this many positions before its consumer finishes, keeping the
-    copy off the critical path.
-
-    ``swap_backpressure`` — the memory manager's allocator
-    backpressure: a layer's forward pass for microbatch ``k`` cannot
-    start until the same layer's swap-out for microbatch
-    ``k - window`` completed, bounding un-evicted generations in
-    flight (a real allocator would stall the same way instead of
-    OOMing).
-    """
-
-    strict: bool = True
-    prefetch_lead: int = 3
-    record_trace: bool = True
-    gpu_capacity_override: Optional[int] = None
-    swap_backpressure: int = 6
-    # Optimizer state streams through in chunks so only a couple of
-    # chunks are GPU-resident at once (a whole multi-GB blob would
-    # not fit next to the working set at billion scale).
-    opt_swap_chunk: int = 2 * 1024**3
-    # Timed hardware faults injected into the run (slowdowns, link
-    # degradation, device failures, NVMe stalls); None or an empty
-    # schedule reproduces the fault-free execution exactly.
-    faults: Optional[FaultSchedule] = None
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one simulated training run."""
-
-    job: TrainingJob
-    plan: MemorySavingPlan
-    ok: bool
-    oom: Optional[OutOfMemoryError]
-    makespan: float
-    memory: MemoryModel
-    trace: Trace
-    minibatch_time: float
-    # Populated when the run was executed under a fault schedule.
-    resilience: Optional[ResilienceReport] = None
-
-    @property
-    def samples_per_second(self) -> float:
-        if not self.ok or self.minibatch_time <= 0:
-            return 0.0
-        return self.job.samples_per_minibatch / self.minibatch_time
-
-    @property
-    def tflops(self) -> float:
-        """Aggregate achieved model TFLOPS (the paper's Figures 7/8 metric)."""
-        if not self.ok or self.minibatch_time <= 0:
-            return 0.0
-        return self.job.minibatch_flops() / self.minibatch_time / 1e12
-
-    @property
-    def peak_memory_per_gpu(self) -> List[int]:
-        return self.memory.peaks()
+__all__ = ["ExecOptions", "PipelineExecutor", "SimulationResult", "simulate"]
 
 
 class PipelineExecutor:
-    """Builds and runs the task graph of one training iteration set."""
+    """Builds and runs the instruction program of one training iteration set."""
 
     def __init__(
         self,
@@ -109,900 +42,13 @@ class PipelineExecutor:
     ):
         self.job = job
         self.options = options
-        self.plan = plan if plan is not None else empty_plan(job.n_stages)
-        if len(self.plan.device_map) != job.n_stages:
-            raise SimulationError("plan device map does not cover all stages")
-        self.program: Program = build_program(job.stage_plan, job.schedule)
-        self.classes = tensor_classes_for(
-            job.stage_plan, job.schedule, job.microbatch_size, job.bytes_per_element
-        )
-        validate_plan(self.plan, self.classes)
-
-        self.engine = Engine()
-        self.streams = StreamSet(self.engine)
-        capacities = [
-            options.gpu_capacity_override or gpu.memory_bytes for gpu in job.server.gpus
-        ]
-        self.memory = MemoryModel(
-            capacities, job.server.host.memory_bytes, strict=options.strict
-        )
-        self.pinned = PinnedPool(capacity=job.server.host.memory_bytes // 2)
-        self.trace = Trace()
-        self.injector: Optional[FaultInjector] = None
-        if options.faults is not None and not options.faults.is_empty:
-            self.injector = FaultInjector(
-                options.faults,
-                self.engine,
-                self.streams,
-                job,
-                self.memory,
-                self.trace,
-                record_trace=options.record_trace,
-            )
-            self.injector.arm()
-
-        # (kind, stage, index) -> first/last per-layer task of the node.
-        self._node_first: Dict[tuple, Task] = {}
-        self._node_last: Dict[tuple, Task] = {}
-        # (stage, microbatch, layer) -> per-layer compute task.
-        self._fwd_layer: Dict[Tuple[int, int, int], Task] = {}
-        self._bwd_layer: Dict[Tuple[int, int, int], Task] = {}
-        # Per-stage compute tasks in issue order (for prefetch anchors).
-        self._stage_order: Dict[int, List[Task]] = {}
-        # Activation classes per stage, in layer order.
-        self._stage_acts: Dict[int, List[TensorClass]] = {}
-        for cls in self.classes:
-            if cls.kind is TensorKind.ACTIVATION:
-                self._stage_acts.setdefault(cls.stage, []).append(cls)
-        for acts in self._stage_acts.values():
-            acts.sort(key=lambda c: c.layer)
-        self._by_kind: Dict[Tuple[str, int], TensorClass] = {
-            (cls.kind.value, cls.stage): cls
-            for cls in self.classes
-            if cls.kind in (TensorKind.OPTIMIZER_STATE, TensorKind.STASHED_PARAMS)
-        }
-
-    # -- public API --------------------------------------------------------
+        # Lower eagerly: invalid plans (bad device map, inconsistent
+        # entries) are rejected at construction, as they always were.
+        self.program = Lowering(job, options).lower(plan)
+        self.plan = self.program.plan
 
     def run(self) -> SimulationResult:
-        try:
-            self._allocate_static()
-            self._build_tasks()
-            makespan = self.engine.run()
-        except OutOfMemoryError as oom:
-            return SimulationResult(
-                job=self.job,
-                plan=self.plan,
-                ok=False,
-                oom=oom,
-                makespan=0.0,
-                memory=self.memory,
-                trace=self.trace,
-                minibatch_time=0.0,
-            )
-        resilience = (
-            self.injector.build_report(makespan) if self.injector is not None else None
-        )
-        return SimulationResult(
-            job=self.job,
-            plan=self.plan,
-            ok=True,
-            oom=None,
-            makespan=makespan,
-            memory=self.memory,
-            trace=self.trace,
-            minibatch_time=self._minibatch_time(makespan),
-            resilience=resilience,
-        )
-
-    # -- hooks ----------------------------------------------------------------
-
-    def _record(self, kind: str, device: int, microbatch: int, layer: int = -1):
-        if not self.options.record_trace:
-            return None
-
-        def hook(task: Task, now: float) -> None:
-            self.trace.record(
-                TraceEvent(
-                    name=task.name,
-                    kind=kind,
-                    device=device,
-                    microbatch=microbatch,
-                    start=task.start_time,
-                    end=now,
-                    layer=layer,
-                )
-            )
-
-        return hook
-
-    def _alloc_hook(self, device_mem: DeviceMemory, size: int, tag: str):
-        def hook(task: Task, now: float) -> None:
-            device_mem.alloc(size, now, tag=tag)
-
-        return hook
-
-    def _free_hook(self, device_mem: DeviceMemory, size: int, tag: str):
-        def hook(task: Task, now: float) -> None:
-            device_mem.free(size, now, tag=tag)
-
-        return hook
-
-    def _pin_hook(self, size: int):
-        def hook(task: Task, now: float) -> None:
-            self.pinned.take(size)
-
-        return hook
-
-    def _unpin_hook(self, size: int):
-        def hook(task: Task, now: float) -> None:
-            self.pinned.give(size)
-
-        return hook
-
-    @staticmethod
-    def _chain(*hooks):
-        live = [h for h in hooks if h is not None]
-        if not live:
-            return None
-        if len(live) == 1:
-            return live[0]
-
-        def hook(task: Task, now: float) -> None:
-            for h in live:
-                h(task, now)
-
-        return hook
-
-    # -- static state --------------------------------------------------------
-
-    def _device(self, stage: int) -> int:
-        return self.plan.device_of(stage)
-
-    def _allocate_static(self) -> None:
-        """Model state resident from t=0, per the plan."""
-        for cls in self.classes:
-            device = self._device(cls.stage)
-            gpu = self.memory.gpu(device)
-            action = self.plan.action_for(cls)
-            if cls.kind is TensorKind.WORKING_STATE:
-                gpu.alloc(cls.peak_bytes, 0.0, tag=str(cls.key))
-            elif cls.kind is TensorKind.OPTIMIZER_STATE:
-                if action is Action.NONE:
-                    gpu.alloc(cls.peak_bytes, 0.0, tag=str(cls.key))
-                elif action is Action.CPU_SWAP:
-                    # NVMe-tier blobs live on storage, not in host RAM.
-                    if self.plan.entry_for(cls).tier == "host":
-                        self.memory.host.alloc(cls.peak_bytes, 0.0, tag=str(cls.key))
-                elif action is Action.D2D_SWAP:
-                    stripe = self.plan.entry_for(cls).stripe
-                    for importer in stripe.importers:
-                        self.memory.gpu(importer).alloc(
-                            stripe.bytes_to(importer), 0.0, tag=str(cls.key)
-                        )
-            # Activations and stashed versions are allocated dynamically.
-
-    # -- task construction -----------------------------------------------
-
-    def _build_tasks(self) -> None:
-        self._build_compute_tasks()
-        self._build_comm_tasks()
-        self._build_activation_ops()
-        self._build_optimizer_ops()
-
-    def _build_compute_tasks(self) -> None:
-        """Per-layer forward/backward chains on per-device FIFO streams.
-
-        Recomputation tasks are queued immediately before the backward
-        of their layer on the same stream, so they contend for GPU
-        compute exactly as real recomputation does (the paper's
-        up-to-33% recompute delay, Section II-D).
-        """
-        job = self.job
-        for stage_index, stage_nodes in enumerate(self.program.per_stage):
-            device = self._device(stage_index)
-            compute = self.streams.get(("compute", device), mode="fifo")
-            order: List[Task] = []
-            self._stage_order[stage_index] = order
-            layers = job.stage_plan.stage(stage_index).layers
-            for node in stage_nodes:
-                if node.kind is OpKind.OPTIMIZER:
-                    task = Task(
-                        name=node.name,
-                        duration=job.optimizer_time(node.stage, device),
-                        on_done=self._record("opt", device, node.minibatch),
-                    )
-                    self._node_first[node.key] = task
-                    self._node_last[node.key] = task
-                    compute.submit(task)
-                    order.append(task)
-                    continue
-                first, last = self._submit_layer_chain(node, layers, device, compute, order)
-                self._node_first[node.key] = first
-                self._node_last[node.key] = last
-        # Cross-node dependencies (same-stage fwd->bwd data edges).
-        for node in self.program.nodes():
-            for dep in node.deps:
-                if dep.stage == node.stage:
-                    self._node_first[node.key].add_dep(self._node_last[dep.key])
-
-    def _submit_layer_chain(
-        self,
-        node: ComputeNode,
-        layers,
-        device: int,
-        compute,
-        order: List[Task],
-    ) -> Tuple[Task, Task]:
-        job = self.job
-        mb = node.microbatch
-        forward = node.kind is OpKind.FORWARD
-        chain = layers if forward else list(reversed(layers))
-        first: Optional[Task] = None
-        last: Optional[Task] = None
-        for layer in chain:
-            flops = layer.forward_flops(job.microbatch_size)
-            duration = (flops if forward else 2.0 * flops) / (
-                job.server.gpu(device).peak_flops(job.precision) * job.mfu
-            )
-            if not forward:
-                self._maybe_submit_recompute(node.stage, mb, layer, device, compute, order)
-            task = Task(
-                name=f"{node.kind.value}.s{node.stage}.m{mb}.l{layer.index}",
-                duration=duration,
-                on_done=self._record(node.kind.value, device, mb, layer.index),
-            )
-            compute.submit(task)
-            order.append(task)
-            key = (node.stage, mb, layer.index)
-            if forward:
-                self._fwd_layer[key] = task
-            else:
-                self._bwd_layer[key] = task
-            if first is None:
-                first = task
-            last = task
-        return first, last
-
-    def _maybe_submit_recompute(
-        self, stage: int, mb: int, layer, device: int, compute, order: List[Task]
-    ) -> None:
-        cls = self._activation_class(stage, layer.index)
-        if cls is None or self.plan.action_for(cls) is not Action.RECOMPUTE:
-            return
-        task = Task(
-            name=f"recompute.s{stage}.m{mb}.l{layer.index}",
-            duration=self.job.layer_forward_time(layer, device),
-            on_done=self._record("recompute", device, mb, layer.index),
-        )
-        compute.submit(task)
-        order.append(task)
-        self._fwd_layer[("recompute", stage, mb, layer.index)] = task
-
-    def _activation_class(self, stage: int, layer_index: int) -> Optional[TensorClass]:
-        for cls in self._stage_acts.get(stage, []):
-            if cls.layer == layer_index:
-                return cls
-        return None
-
-    # -- communication ---------------------------------------------------------
-
-    def _link_task(
-        self,
-        name: str,
-        size: int,
-        src_dev: int,
-        dst_dev: int,
-        deps: List[Task],
-        kind: str,
-        microbatch: int,
-        on_start=None,
-        on_done=None,
-    ) -> Task:
-        """A point-to-point GPU transfer over one NVLink lane.
-
-        Falls back to a staged PCIe route when the devices share no
-        direct lane (possible on DGX-1 with a poor device mapping).
-        """
-        topology = self.job.server.topology
-        record = self._record(kind, src_dev, microbatch)
-        done = self._chain(record, on_done)
-        if topology.lanes(src_dev, dst_dev) > 0:
-            lane = topology.lane_channels(src_dev, dst_dev)[0]
-            duration = transfer_time(size, topology.nvlink, lanes=1)
-            task = Task(name, duration, deps=deps, on_start=on_start, on_done=done)
-            self.streams.get(lane, mode="pool").submit(task)
-            return task
-        # Staged copy through host memory: D2H then H2D, serialized.
-        duration = 2.0 * transfer_time(size, self.job.server.pcie, lanes=1)
-        task = Task(name, duration, deps=deps, on_start=on_start, on_done=done)
-        self.streams.get(("pcie_d2h", src_dev), mode="pool").submit(task)
-        return task
-
-    def _build_comm_tasks(self) -> None:
-        """Activation/gradient transfers between adjacent stages."""
-        job = self.job
-        bpe = job.bytes_per_element
-        for node in self.program.nodes():
-            for dep in node.deps:
-                if dep.stage == node.stage:
-                    continue
-                size = job.stage_plan.stage(min(dep.stage, node.stage)).boundary_bytes(
-                    job.microbatch_size, bpe
-                )
-                comm = self._link_task(
-                    name=f"comm.{dep.name}->{node.name}",
-                    size=size,
-                    src_dev=self._device(dep.stage),
-                    dst_dev=self._device(node.stage),
-                    deps=[self._node_last[dep.key]],
-                    kind="comm",
-                    microbatch=node.microbatch,
-                )
-                self._node_first[node.key].add_dep(comm)
-
-    # -- activation memory ops --------------------------------------------------
-
-    def _build_activation_ops(self) -> None:
-        """Per (stage, layer, microbatch) tensor lifecycles.
-
-        Swapped tensors form one eviction sequence per stage in
-        generation order (microbatch-major, layer-minor); a new
-        swapped tensor may only materialize once the tensor ``W``
-        generations earlier has been evicted.  ``W`` is derived from
-        the memory left over after resident state — this is the
-        allocator's memory-pressure throttling, and it is what slows
-        a PCIe-bound GPU-CPU-swap job down to the link rate (the
-        paper's 67% swap-only throughput loss, Section II-D).
-        """
-        for stage in range(self.job.n_stages):
-            device = self._device(stage)
-            gpu = self.memory.gpu(device)
-            window = self._backpressure_window(stage, gpu)
-            history: List[Task] = []
-            for node in self.program.per_stage[stage]:
-                if node.kind is not OpKind.FORWARD:
-                    continue
-                mb = node.microbatch
-                mb_start = len(history)
-                for cls in self._stage_acts.get(stage, []):
-                    fwd = self._fwd_layer[(stage, mb, cls.layer)]
-                    bwd = self._bwd_layer[(stage, mb, cls.layer)]
-                    if window is not None and len(history) >= window:
-                        fwd.add_dep(history[len(history) - window])
-                    join = self._wire_activation(cls, gpu, device, mb, fwd, bwd)
-                    if join is not None:
-                        history.append(join)
-                stash_join = self._wire_stash(
-                    stage, mb, gpu, device, window, history, mb_start
-                )
-                if stash_join is not None:
-                    history.append(stash_join)
-
-    def _backpressure_window(self, stage: int, gpu: DeviceMemory) -> Optional[int]:
-        """Un-evicted swapped layer-tensors the allocator tolerates.
-
-        The window is the number of concurrently-resident swapped
-        tensors fitting in half the memory left after static state,
-        resident activations, and recompute checkpoints (the other
-        half covers swap-in prefetches and transients).  ``None``
-        means no swapped tensors, hence no throttling.
-        """
-        swapped_sizes: List[int] = []
-        resident = gpu.in_use  # static state was allocated before tasks
-        for cls in self._stage_acts.get(stage, []):
-            action = self.plan.action_for(cls)
-            if action in (Action.CPU_SWAP, Action.D2D_SWAP):
-                swapped_sizes.append(cls.size)
-            elif action is Action.NONE:
-                resident += cls.size * cls.instances
-            elif action is Action.RECOMPUTE:
-                boundary = self.job.model.layers[cls.layer].boundary_bytes(
-                    self.job.microbatch_size, self.job.bytes_per_element
-                )
-                resident += boundary * cls.instances + cls.size
-        stash = self._by_kind.get((TensorKind.STASHED_PARAMS.value, stage))
-        if stash is not None and stash.instances > 0:
-            if self.plan.action_for(stash) in (Action.CPU_SWAP, Action.D2D_SWAP):
-                swapped_sizes.append(stash.size)
-            else:
-                resident += stash.size * stash.instances
-        if not swapped_sizes:
-            return None
-        average = sum(swapped_sizes) / len(swapped_sizes)
-        budget = max(0, gpu.capacity - resident)
-        window = int(0.5 * budget / average)
-        ceiling = self.options.swap_backpressure * max(1, len(swapped_sizes))
-        return max(1, min(ceiling, window))
-
-    def _wire_activation(
-        self,
-        cls: TensorClass,
-        gpu: DeviceMemory,
-        device: int,
-        mb: int,
-        fwd: Task,
-        bwd: Task,
-    ) -> Optional[Task]:
-        """Wire one layer-tensor's lifecycle; returns its swap-out join."""
-        action = self.plan.action_for(cls)
-        tag = f"act.s{cls.stage}.l{cls.layer}.m{mb}"
-        size = cls.size
-        if action is Action.NONE:
-            fwd.on_start = self._chain(fwd.on_start, self._alloc_hook(gpu, size, tag))
-            bwd.on_done = self._chain(bwd.on_done, self._free_hook(gpu, size, tag))
-            return None
-        if action is Action.RECOMPUTE:
-            self._wire_recompute(cls, gpu, device, mb, fwd, bwd, tag)
-            return None
-        fwd.on_start = self._chain(fwd.on_start, self._alloc_hook(gpu, size, tag))
-        bwd.on_done = self._chain(bwd.on_done, self._free_hook(gpu, size, tag))
-        anchor = self._anchor_before(cls.stage, bwd)
-        entry = self.plan.entry_for(cls)
-        if action is Action.CPU_SWAP:
-            return self._wire_cpu_swap(
-                tag, size, gpu, device, mb, fwd, bwd, anchor, tier=entry.tier
-            )
-        # Partial D2D: only the striped portion leaves the device.
-        stripe = entry.stripe
-        return self._wire_d2d_swap(
-            tag, stripe.tensor_bytes, stripe, gpu, device, mb, fwd, bwd, anchor
-        )
-
-    def _anchor_before(self, stage: int, consumer: Task) -> Optional[Task]:
-        """Compute task ``prefetch_lead`` positions before ``consumer``."""
-        order = self._stage_order[stage]
-        try:
-            position = order.index(consumer)
-        except ValueError:
-            return None
-        anchor_pos = position - self.options.prefetch_lead
-        if anchor_pos < 0:
-            return None
-        return order[anchor_pos]
-
-    def _wire_recompute(
-        self,
-        cls: TensorClass,
-        gpu: DeviceMemory,
-        device: int,
-        mb: int,
-        fwd: Task,
-        bwd: Task,
-        tag: str,
-    ) -> None:
-        """Per-layer checkpointing: drop internals, keep the boundary.
-
-        The layer's internal activations exist during its forward
-        pass, are dropped afterwards (only the boundary checkpoint
-        stays), and are re-materialized by the recompute task queued
-        just before the layer's backward pass.
-        """
-        boundary = self.job.model.layers[cls.layer].boundary_bytes(
-            self.job.microbatch_size, self.job.bytes_per_element
-        )
-        internals = max(0, cls.size - boundary)
-        fwd.on_start = self._chain(fwd.on_start, self._alloc_hook(gpu, cls.size, tag))
-        fwd.on_done = self._chain(fwd.on_done, self._free_hook(gpu, internals, tag))
-        recompute = self._fwd_layer[("recompute", cls.stage, mb, cls.layer)]
-        recompute.on_start = self._chain(
-            recompute.on_start, self._alloc_hook(gpu, internals, tag)
-        )
-        bwd.on_done = self._chain(bwd.on_done, self._free_hook(gpu, cls.size, tag))
-
-    def _wire_cpu_swap(
-        self,
-        tag: str,
-        size: int,
-        gpu: DeviceMemory,
-        device: int,
-        mb: int,
-        out_after: Task,
-        in_before: Task,
-        anchor: Optional[Task],
-        tier: str = "host",
-    ) -> Task:
-        """GPU<->CPU swap over PCIe, optionally spilling to NVMe.
-
-        With ``tier == "nvme"`` the tensor only stages through pinned
-        host memory and continues to NVMe (ZeRO-Infinity style), so
-        host residency stays bounded at the cost of the extra,
-        slower NVMe legs.
-        """
-        host = self.memory.host
-        duration = transfer_time(size, self.job.server.pcie, lanes=1)
-        out = Task(
-            name=f"swapout.{tag}",
-            duration=duration,
-            deps=[out_after],
-            on_start=self._chain(self._alloc_hook(host, size, tag), self._pin_hook(size)),
-            on_done=self._chain(
-                self._free_hook(gpu, size, tag),
-                self._unpin_hook(size),
-                self._record("swap_out", device, mb),
-            ),
-        )
-        self.streams.get(("pcie_d2h", device), mode="pool").submit(out)
-
-        eviction_gate = out
-        if tier == "nvme":
-            nvme = self.job.server.nvme
-            spill = Task(
-                name=f"nvmewrite.{tag}",
-                duration=size / nvme.write_bandwidth,
-                deps=[out],
-                on_done=self._free_hook(host, size, tag),
-            )
-            self.streams.get(("nvme", "write"), mode="pool").submit(spill)
-            # Host staging is only reclaimed once NVMe absorbed the
-            # tensor; gate the eviction sequence on that, so a slow
-            # NVMe throttles producers instead of flooding the host.
-            eviction_gate = spill
-            fetch_deps = [spill] if anchor is None else [spill, anchor]
-            fetch = Task(
-                name=f"nvmeread.{tag}",
-                duration=size / nvme.read_bandwidth,
-                deps=fetch_deps,
-                on_start=self._alloc_hook(host, size, tag),
-            )
-            self.streams.get(("nvme", "read"), mode="pool").submit(fetch)
-            in_deps = [fetch]
-        else:
-            in_deps = [out] if anchor is None else [out, anchor]
-
-        swap_in = Task(
-            name=f"swapin.{tag}",
-            duration=duration,
-            deps=in_deps,
-            on_start=self._chain(self._alloc_hook(gpu, size, tag), self._pin_hook(size)),
-            on_done=self._chain(
-                self._free_hook(host, size, tag),
-                self._unpin_hook(size),
-                self._record("swap_in", device, mb),
-            ),
-        )
-        self.streams.get(("pcie_h2d", device), mode="pool").submit(swap_in)
-        in_before.add_dep(swap_in)
-        return eviction_gate
-
-    def _wire_d2d_swap(
-        self,
-        tag: str,
-        size: int,
-        stripe,
-        gpu: DeviceMemory,
-        device: int,
-        mb: int,
-        out_after: Task,
-        in_before: Task,
-        anchor: Optional[Task],
-    ) -> Task:
-        """Striped device-to-device swap over NVLink lanes (Sec. III-C)."""
-        nvlink = self.job.server.topology.nvlink
-        out_blocks: List[Task] = []
-        for index, block in enumerate(stripe.blocks):
-            importer_mem = self.memory.gpu(block.importer)
-            task = Task(
-                name=f"d2dout.{tag}.b{index}",
-                duration=transfer_time(block.size, nvlink, lanes=1),
-                deps=[out_after],
-                on_start=self._alloc_hook(importer_mem, block.size, tag),
-            )
-            self.streams.get(block.lane, mode="pool").submit(task)
-            out_blocks.append(task)
-        out_join = Task(
-            name=f"d2dout.{tag}.join",
-            duration=0.0,
-            deps=out_blocks,
-            on_done=self._chain(
-                self._free_hook(gpu, size, tag), self._record("swap_out", device, mb)
-            ),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(out_join)
-
-        in_begin_deps = [out_join] if anchor is None else [out_join, anchor]
-        in_begin = Task(
-            name=f"d2din.{tag}.begin",
-            duration=0.0,
-            deps=in_begin_deps,
-            on_done=self._alloc_hook(gpu, size, tag),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(in_begin)
-        in_blocks: List[Task] = []
-        for index, block in enumerate(stripe.blocks):
-            importer_mem = self.memory.gpu(block.importer)
-            task = Task(
-                name=f"d2din.{tag}.b{index}",
-                duration=transfer_time(block.size, nvlink, lanes=1),
-                deps=[in_begin],
-                on_done=self._free_hook(importer_mem, block.size, tag),
-            )
-            self.streams.get(block.return_lane, mode="pool").submit(task)
-            in_blocks.append(task)
-        in_join = Task(
-            name=f"d2din.{tag}.join",
-            duration=0.0,
-            deps=in_blocks,
-            on_done=self._record("swap_in", device, mb),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(in_join)
-        in_before.add_dep(in_join)
-        return out_join
-
-    # -- stashed weight versions (PipeDream) -------------------------------
-
-    def _wire_stash(
-        self,
-        stage: int,
-        mb: int,
-        gpu: DeviceMemory,
-        device: int,
-        window: Optional[int],
-        history: List[Task],
-        mb_start: int,
-    ) -> Optional[Task]:
-        """One stashed weight version's lifecycle; returns its out join.
-
-        The version materializes when the microbatch's forward
-        finishes and retires after its backward.  Swapped versions
-        participate in the stage's eviction sequence, so a saturated
-        link throttles weight stashing like any other generation.
-        """
-        cls = self._by_kind.get((TensorKind.STASHED_PARAMS.value, stage))
-        if cls is None or cls.instances == 0:
-            return None
-        action = self.plan.action_for(cls)
-        fwd_last = self._node_last[(OpKind.FORWARD.value, stage, mb)]
-        bwd_key = (OpKind.BACKWARD.value, stage, mb)
-        bwd_first = self._node_first[bwd_key]
-        bwd_last = self._node_last[bwd_key]
-        tag = f"stash.s{stage}.m{mb}"
-        fwd_last.on_done = self._chain(
-            fwd_last.on_done, self._alloc_hook(gpu, cls.size, tag)
-        )
-        bwd_last.on_done = self._chain(
-            bwd_last.on_done, self._free_hook(gpu, cls.size, tag)
-        )
-        if action is Action.NONE:
-            return None
-        if window is not None and len(history) >= window:
-            # The stash version materializes at the end of this
-            # microbatch's forward, whose layer tasks already gate on
-            # this microbatch's own joins — gating on one of those
-            # here would be a self-cycle.  Use strictly older
-            # generations only.
-            index = min(len(history) - window, mb_start - 1)
-            if index >= 0:
-                fwd_last.add_dep(history[index])
-        anchor = self._anchor_before(stage, bwd_first)
-        entry = self.plan.entry_for(cls)
-        if action is Action.CPU_SWAP:
-            return self._wire_cpu_swap(
-                tag, cls.size, gpu, device, mb, fwd_last, bwd_first, anchor,
-                tier=entry.tier,
-            )
-        stripe = entry.stripe
-        return self._wire_d2d_swap(
-            tag, cls.size, stripe, gpu, device, mb, fwd_last, bwd_first, anchor
-        )
-
-    # -- optimizer state swapping ----------------------------------------------
-
-    def _build_optimizer_ops(self) -> None:
-        for stage in range(self.job.n_stages):
-            cls = self._by_kind.get((TensorKind.OPTIMIZER_STATE.value, stage))
-            if cls is None:
-                continue
-            action = self.plan.action_for(cls)
-            if action is Action.NONE:
-                continue
-            device = self._device(stage)
-            gpu = self.memory.gpu(device)
-            first_bwd_of = self._first_backward_by_minibatch(stage)
-            previous_outs: Optional[List[Task]] = None
-            for node in self.program.per_stage[stage]:
-                if node.kind is not OpKind.OPTIMIZER:
-                    continue
-                opt_task = self._node_first[node.key]
-                anchor_node = first_bwd_of.get(node.minibatch)
-                anchor = (
-                    self._node_first[anchor_node.key] if anchor_node is not None else None
-                )
-                tag = f"opt.s{stage}.k{node.minibatch}"
-                previous_outs = self._wire_opt_swap(
-                    cls, action, tag, gpu, device, opt_task, anchor, previous_outs
-                )
-
-    def _first_backward_by_minibatch(self, stage: int) -> Dict[int, ComputeNode]:
-        first: Dict[int, ComputeNode] = {}
-        for node in self.program.per_stage[stage]:
-            if node.kind is OpKind.BACKWARD and node.minibatch not in first:
-                first[node.minibatch] = node
-        return first
-
-    def _opt_chunks(self, size: int, capacity: int) -> List[int]:
-        """Chunk sizes for streaming optimizer state.
-
-        Chunks never exceed 1/16 of device capacity, so a couple of
-        in-flight chunks stay a small fraction of the device.
-        """
-        chunk = max(1, min(self.options.opt_swap_chunk, capacity // 16))
-        sizes = []
-        remaining = size
-        while remaining > 0:
-            take = min(chunk, remaining)
-            sizes.append(take)
-            remaining -= take
-        return sizes
-
-    def _wire_opt_swap(
-        self,
-        cls,
-        action: Action,
-        tag: str,
-        gpu: DeviceMemory,
-        device: int,
-        opt_task: Task,
-        anchor: Optional[Task],
-        previous_outs: Optional[List[Task]],
-    ) -> List[Task]:
-        """Chunked optimizer-state swap around one optimizer step.
-
-        The blob streams in chunk by chunk; each chunk is updated on
-        a dedicated per-device optimizer stream and streamed back out
-        immediately, so GPU residency stays at a couple of chunks —
-        a whole billion-scale optimizer blob next to the working set
-        would never fit.  The original optimizer task becomes a
-        zero-cost join gating the next minibatch.
-        """
-        chunks = self._opt_chunks(cls.size, gpu.capacity)
-        total = float(cls.size)
-        step_time = opt_task.duration
-        opt_task.duration = 0.0
-        update_stream = self.streams.get(("optstep", device), mode="fifo")
-        outs: List[Task] = []
-        last_update: Optional[Task] = None
-        for index, chunk in enumerate(chunks):
-            chunk_tag = f"{tag}.c{index}"
-            in_deps = []
-            if previous_outs is not None:
-                in_deps.append(previous_outs[index])
-            if anchor is not None:
-                in_deps.append(anchor)
-            swap_in = self._opt_chunk_in(
-                cls, action, chunk_tag, gpu, device, chunk, index, in_deps
-            )
-            update = Task(
-                name=f"optstep.{chunk_tag}",
-                duration=step_time * (chunk / total),
-                deps=[swap_in],
-            )
-            update_stream.submit(update)
-            out = self._opt_chunk_out(
-                cls, action, chunk_tag, gpu, device, chunk, index, [update]
-            )
-            outs.append(out)
-            last_update = update
-        if last_update is not None:
-            opt_task.add_dep(last_update)
-        return outs
-
-    def _opt_chunk_in(
-        self, cls, action, tag, gpu, device, chunk, index, deps
-    ) -> Task:
-        if action is Action.CPU_SWAP:
-            entry = self.plan.entry_for(cls)
-            if entry.tier == "nvme":
-                nvme = self.job.server.nvme
-                fetch = Task(
-                    name=f"nvmeread.{tag}",
-                    duration=chunk / nvme.read_bandwidth,
-                    deps=deps,
-                )
-                self.streams.get(("nvme", "read"), mode="pool").submit(fetch)
-                deps = [fetch]
-            swap_in = Task(
-                name=f"swapin.{tag}",
-                duration=transfer_time(chunk, self.job.server.pcie, lanes=1),
-                deps=deps,
-                on_start=self._alloc_hook(gpu, chunk, tag),
-                on_done=self._record("swap_in", device, -1),
-            )
-            self.streams.get(("pcie_h2d", device), mode="pool").submit(swap_in)
-            return swap_in
-        # D2D: pull the chunk's share of every stripe block back.
-        stripe = self.plan.entry_for(cls).stripe
-        nvlink = self.job.server.topology.nvlink
-        begin = Task(
-            name=f"d2din.{tag}.begin",
-            duration=0.0,
-            deps=deps,
-            on_done=self._alloc_hook(gpu, chunk, tag),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(begin)
-        blocks = []
-        fraction = chunk / float(cls.size)
-        for b_index, block in enumerate(stripe.blocks):
-            share = max(1, int(block.size * fraction))
-            task = Task(
-                name=f"d2din.{tag}.b{b_index}",
-                duration=transfer_time(share, nvlink, lanes=1),
-                deps=[begin],
-            )
-            self.streams.get(block.return_lane, mode="pool").submit(task)
-            blocks.append(task)
-        join = Task(
-            name=f"d2din.{tag}.join",
-            duration=0.0,
-            deps=blocks,
-            on_done=self._record("swap_in", device, -1),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(join)
-        return join
-
-    def _opt_chunk_out(
-        self, cls, action, tag, gpu, device, chunk, index, deps
-    ) -> Task:
-        if action is Action.CPU_SWAP:
-            entry = self.plan.entry_for(cls)
-            out = Task(
-                name=f"swapout.{tag}",
-                duration=transfer_time(chunk, self.job.server.pcie, lanes=1),
-                deps=deps,
-                on_done=self._chain(
-                    self._free_hook(gpu, chunk, tag), self._record("swap_out", device, -1)
-                ),
-            )
-            self.streams.get(("pcie_d2h", device), mode="pool").submit(out)
-            if entry.tier == "nvme":
-                nvme = self.job.server.nvme
-                spill = Task(
-                    name=f"nvmewrite.{tag}",
-                    duration=chunk / nvme.write_bandwidth,
-                    deps=[out],
-                )
-                self.streams.get(("nvme", "write"), mode="pool").submit(spill)
-                return spill
-            return out
-        stripe = self.plan.entry_for(cls).stripe
-        nvlink = self.job.server.topology.nvlink
-        blocks = []
-        fraction = chunk / float(cls.size)
-        for b_index, block in enumerate(stripe.blocks):
-            share = max(1, int(block.size * fraction))
-            task = Task(
-                name=f"d2dout.{tag}.b{b_index}",
-                duration=transfer_time(share, nvlink, lanes=1),
-                deps=deps,
-            )
-            self.streams.get(block.lane, mode="pool").submit(task)
-            blocks.append(task)
-        join = Task(
-            name=f"d2dout.{tag}.join",
-            duration=0.0,
-            deps=blocks,
-            on_done=self._chain(
-                self._free_hook(gpu, chunk, tag), self._record("swap_out", device, -1)
-            ),
-        )
-        self.streams.get(("d2d", device), mode="pool").submit(join)
-        return join
-
-    # -- metrics -------------------------------------------------------------
-
-    def _minibatch_time(self, makespan: float) -> float:
-        """Steady-state minibatch period from stage 0's optimizer steps."""
-        device = self._device(0)
-        opt_ends = sorted(
-            event.end
-            for event in self.trace.events
-            if event.kind == "opt" and event.device == device
-        )
-        if len(opt_ends) >= 2:
-            return (opt_ends[-1] - opt_ends[0]) / (len(opt_ends) - 1)
-        if self.job.n_minibatches > 0:
-            return makespan / self.job.n_minibatches
-        return makespan
+        return Interpreter(self.program).run()
 
 
 def simulate(

@@ -19,7 +19,7 @@ the pool is free after a one-time reservation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import OutOfMemoryError, SimulationError
 

@@ -33,12 +33,27 @@ class TraceEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class CounterSample:
+    """One per-device memory-usage sample (for counter tracks).
+
+    Samples live alongside — never inside — ``events``: trace digests
+    hash the event list only, so counter instrumentation cannot
+    perturb golden traces.
+    """
+
+    device: int
+    time: float
+    bytes_in_use: int
+
+
 @dataclass
 class Trace:
     """Ordered record of completed tasks plus simulation-wide stats."""
 
     events: List[TraceEvent] = field(default_factory=list)
     makespan: float = 0.0
+    counters: List[CounterSample] = field(default_factory=list)
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)

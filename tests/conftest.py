@@ -10,6 +10,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
+from repro.hardware.links import NVLINK2
+from repro.hardware.server import Server
+from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
+from repro.job import TrainingJob
+from repro.models.config import TransformerConfig
+from repro.models.layers import build_model
+from repro.units import GiB, GBps, TFLOP
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -31,14 +40,6 @@ def pytest_collection_modifyitems(config, items):
 def update_goldens(request) -> bool:
     return request.config.getoption("--update-goldens")
 
-from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
-from repro.hardware.links import NVLINK2
-from repro.hardware.server import Server
-from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
-from repro.job import TrainingJob
-from repro.models.config import TransformerConfig
-from repro.models.layers import build_model
-from repro.units import GiB, GBps, TFLOP
 
 TINY_GPU = GPUSpec(
     name="tiny-gpu",

@@ -42,7 +42,7 @@ class TestGroupedBars:
 
     def test_global_scale_across_series(self):
         text = grouped_bars(["g"], {"a": [10.0], "b": [5.0]}, width=10)
-        lines = [l for l in text.splitlines() if "█" in l]
+        lines = [line for line in text.splitlines() if "█" in line]
         assert lines[0].count("█") == 2 * lines[1].count("█")
 
 

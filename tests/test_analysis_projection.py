@@ -4,13 +4,12 @@ import pytest
 
 from repro.analysis.projection import (
     GRACE_HOPPER,
-    ProjectionReport,
     SuperchipSpec,
     gpt3_model,
     project,
 )
 from repro.errors import ConfigurationError
-from repro.units import GBps, GiB, TFLOP
+from repro.units import GBps
 
 
 def test_gpt3_parameter_count():

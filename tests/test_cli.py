@@ -167,6 +167,31 @@ class TestSweepAndCache:
         assert main(["cache", "stats", "--cache", cache_dir]) == 0
         assert "0 entries" in capsys.readouterr().out
 
+    def test_cache_stats_json(self, capsys, tmp_path):
+        import json as jsonlib
+
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--models", "bert-0.35", "--systems", "none",
+              "--quiet", "--cache", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache_dir, "--json"]) == 0
+        stats = jsonlib.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["shards"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == cache_dir
+        # A fresh CLI-side ResultCache has served no lookups itself.
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_cache_stats_json_on_missing_directory(self, capsys, tmp_path):
+        import json as jsonlib
+
+        cache_dir = str(tmp_path / "never-created")
+        assert main(["cache", "stats", "--cache", cache_dir, "--json"]) == 0
+        stats = jsonlib.loads(capsys.readouterr().out)
+        assert stats == {"root": cache_dir, "entries": 0, "total_bytes": 0,
+                         "shards": 0, "hits": 0, "misses": 0}
+
 
 class TestPlannerKnobs:
     def test_no_striping_and_identity_mapping(self, capsys):

@@ -60,3 +60,54 @@ def test_device_peaks_cover_all_gpus():
     report = Emulator(job).run(empty_plan(job.n_stages))
     assert len(report.device_peaks) == job.server.n_gpus
     assert all(peak > 0 for peak in report.device_peaks)
+
+
+def test_non_strict_overflow_is_reported_not_fatal():
+    # The emulator measures overflow instead of OOMing: the run must
+    # complete (ok, trace recorded) with peaks above capacity.
+    job = _pressured_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    assert report.result.ok
+    assert report.result.oom is None
+    assert report.result.trace.events
+    capacity = job.server.gpu_memory
+    for device in report.overflowed_devices:
+        assert report.device_peaks[device] > capacity
+
+
+def test_overflowed_devices_match_peaks():
+    job = _pressured_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    capacity = job.server.gpu_memory
+    expected = [d for d, peak in enumerate(report.device_peaks) if peak > capacity]
+    assert report.overflowed_devices == expected
+
+
+def test_fits_tracks_overflow_list():
+    job = _pressured_job()
+    emulator = Emulator(job)
+    overflowing = emulator.run(empty_plan(job.n_stages))
+    assert overflowing.fits == (not overflowing.overflowed_devices)
+    roomy = Emulator(tiny_job()).run(empty_plan(4))
+    assert roomy.fits and roomy.overflowed_devices == []
+
+
+def test_slowdown_vs_is_signed():
+    job = _pressured_job()
+    report = Emulator(job).run(empty_plan(job.n_stages))
+    faster_baseline = report.minibatch_time / 2
+    slower_baseline = report.minibatch_time * 2
+    assert report.slowdown_vs(faster_baseline) == pytest.approx(1.0)
+    assert report.slowdown_vs(slower_baseline) == pytest.approx(-0.5)
+
+
+def test_one_emulator_reuses_its_lowering_skeleton():
+    from repro.sim.lowering import skeleton_build_count
+
+    job = _pressured_job()
+    before = skeleton_build_count()
+    emulator = Emulator(job)
+    emulator.run(empty_plan(job.n_stages))
+    emulator.run(empty_plan(job.n_stages))
+    assert skeleton_build_count() == before + 1
+    assert emulator.n_emulations == 2

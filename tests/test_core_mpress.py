@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.mpress import MPress, run_system
 from repro.core.planner import PlannerConfig
-from repro.sim.executor import simulate
 from repro.units import MiB
 
 from tests.conftest import small_server, tiny_job, tiny_model

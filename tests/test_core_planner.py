@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.emulator import Emulator
 from repro.core.plan import Action
 from repro.core.planner import Planner, PlannerConfig, baseline_config
 from repro.graph.tensor import TensorKind

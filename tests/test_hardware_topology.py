@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.hardware.links import NVLINK2
-from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
+from repro.hardware.topology import Topology, dgx2_topology
 
 from tests.conftest import small_topology
 

@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.models.bert import BERT_VARIANTS, bert_variant
 from repro.models.config import TransformerConfig, solve_hidden
 from repro.models.gpt import GPT_VARIANTS, gpt_variant
-from repro.models.layers import LayerKind, ModelSpec, build_model
+from repro.models.layers import LayerKind, ModelSpec
 
 from tests.conftest import tiny_model
 
@@ -66,7 +66,7 @@ class TestModelSpec:
         assert model.n_layers == 8  # embedding + 6 + head
         assert model.layers[0].kind is LayerKind.EMBEDDING
         assert model.layers[-1].kind is LayerKind.HEAD
-        assert all(l.kind is LayerKind.TRANSFORMER for l in model.layers[1:-1])
+        assert all(layer.kind is LayerKind.TRANSFORMER for layer in model.layers[1:-1])
 
     def test_head_shares_embedding_weights(self):
         model = tiny_model()
@@ -74,7 +74,7 @@ class TestModelSpec:
 
     def test_total_params_sums_layers(self):
         model = tiny_model()
-        assert model.total_params == sum(l.params for l in model.layers)
+        assert model.total_params == sum(layer.params for layer in model.layers)
         assert model.total_params == model.config.total_params
 
     def test_iteration_flops_is_fwd_plus_bwd(self):

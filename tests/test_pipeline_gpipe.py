@@ -44,6 +44,47 @@ class TestSchedule:
         with pytest.raises(ScheduleError):
             gpipe_schedule(0, 1, 1)
 
+    def test_bubble_count_per_stage(self):
+        # Classic GPipe bubble: each stage idles for (n_stages - 1)
+        # slots per direction, so a stage's op count is the same for
+        # every stage (bubbles are implicit waits, not ops) and the
+        # fill/drain ramp shows up in simulated makespan instead.
+        n_stages, n_micro = 4, 6
+        sched = gpipe_schedule(n_stages, 1, n_micro)
+        for stage in range(n_stages):
+            ops = sched.stage_ops(stage)
+            fwd = sum(1 for op in ops if op.kind is OpKind.FORWARD)
+            bwd = sum(1 for op in ops if op.kind is OpKind.BACKWARD)
+            assert fwd == n_micro
+            assert bwd == n_micro
+
+    def test_stage_op_ordering_invariants(self):
+        # Per stage and minibatch: forwards in ascending microbatch
+        # order, then backwards descending, then exactly one optimizer
+        # op — the flush boundary GPipe is defined by.
+        n_stages, n_minibatches, n_micro = 3, 2, 4
+        sched = gpipe_schedule(n_stages, n_minibatches, n_micro)
+        for stage in range(n_stages):
+            ops = sched.stage_ops(stage)
+            per_minibatch = [[] for _ in range(n_minibatches)]
+            minibatch = 0
+            for op in ops:
+                per_minibatch[minibatch].append(op)
+                if op.kind is OpKind.OPTIMIZER:
+                    minibatch += 1
+            assert minibatch == n_minibatches
+            for group in per_minibatch:
+                kinds = [op.kind for op in group]
+                assert kinds == (
+                    [OpKind.FORWARD] * n_micro
+                    + [OpKind.BACKWARD] * n_micro
+                    + [OpKind.OPTIMIZER]
+                )
+                fwds = [op.microbatch for op in group if op.kind is OpKind.FORWARD]
+                bwds = [op.microbatch for op in group if op.kind is OpKind.BACKWARD]
+                assert fwds == sorted(fwds)
+                assert bwds == sorted(bwds, reverse=True)
+
 
 class TestExecution:
     def test_simulates_without_deadlock(self):

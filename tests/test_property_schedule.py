@@ -6,7 +6,6 @@ from repro.graph.dataflow import build_program
 from repro.pipeline.dapple import dapple_schedule
 from repro.pipeline.partition import partition_model
 from repro.pipeline.pipedream import pipedream_schedule
-from repro.pipeline.schedule import OpKind
 from repro.sim.executor import simulate
 
 from tests.conftest import tiny_job, tiny_model

@@ -68,6 +68,30 @@ def test_stats_and_clear(tmp_path):
     assert cache.get(_key(0)) is None
 
 
+def test_stats_count_shards(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(0xAA), {"label": "a"})
+    cache.put(_key(0xAA)[:2] + "f" * 62, {"label": "same shard"})
+    cache.put(_key(0xBB), {"label": "b"})
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.shards == 2
+
+
+def test_stats_dict_merges_directory_and_counters(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(5), {"label": "x"})
+    cache.get(_key(5))
+    cache.get(_key(6))
+    stats = cache.stats_dict()
+    assert stats["entries"] == 1
+    assert stats["shards"] == 1
+    assert stats["total_bytes"] > 0
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    json.dumps(stats)  # must stay JSON-serializable for the CLI
+
+
 def test_missing_root_stats(tmp_path):
     cache = ResultCache(str(tmp_path / "never-created"))
     assert cache.stats().entries == 0

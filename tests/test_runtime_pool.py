@@ -16,7 +16,7 @@ from repro.runtime import (
     run_tasks,
 )
 from repro.runtime import task as task_module
-from tests.conftest import small_server, tiny_job, tiny_model
+from tests.conftest import tiny_job, tiny_model
 
 _PARENT_PID = os.getpid()
 

@@ -1,0 +1,140 @@
+"""Event-bus tests: dispatch, built-in observers, custom subscribers."""
+
+from repro.core.plan import empty_plan
+from repro.faults import FaultKind, FaultSchedule, FaultSpec
+from repro.runtime.task import trace_digest
+from repro.sim.audit import FaultWindowAuditor
+from repro.sim.chrome_trace import counter_events, trace_to_chrome, trace_to_events
+from repro.sim.events import (
+    EventBus,
+    InstructionCompleted,
+    InstructionStarted,
+    MemoryChanged,
+)
+from repro.sim.executor import simulate
+from repro.sim.interpreter import Interpreter
+from repro.sim.ir import Compute, ExecOptions
+from repro.sim.lowering import Lowering
+
+from tests.conftest import tiny_job
+
+
+def _program(job, **options):
+    return Lowering(job, ExecOptions(**options)).lower(empty_plan(job.n_stages))
+
+
+class TestEventBus:
+    def test_wants_reflects_subscriptions(self):
+        bus = EventBus()
+        assert not bus.wants(MemoryChanged)
+        bus.subscribe(MemoryChanged, lambda event: None)
+        assert bus.wants(MemoryChanged)
+        assert not bus.wants(InstructionStarted)
+
+    def test_publish_is_synchronous_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(InstructionStarted, lambda e: seen.append("first"))
+        bus.subscribe(InstructionStarted, lambda e: seen.append("second"))
+        bus.publish(InstructionStarted(instruction=None, time=0.0))
+        assert seen == ["first", "second"]
+
+    def test_publish_only_reaches_exact_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(MemoryChanged, seen.append)
+        bus.publish(InstructionStarted(instruction=None, time=0.0))
+        assert seen == []
+
+
+class TestMemoryCounters:
+    def test_traced_run_collects_counter_samples(self):
+        result = simulate(tiny_job())
+        assert result.ok
+        assert result.trace.counters
+        devices = {sample.device for sample in result.trace.counters}
+        assert devices <= set(range(4))
+        assert all(s.bytes_in_use >= 0 for s in result.trace.counters)
+
+    def test_chrome_trace_gets_counter_tracks(self):
+        result = simulate(tiny_job())
+        document = trace_to_chrome(result.trace)
+        counters = [e for e in document["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+        assert all(e["name"].startswith("GPU") for e in counters)
+        assert all("MiB" in e["args"] for e in counters)
+
+    def test_counters_stay_out_of_the_digest_path(self):
+        # Golden digests hash trace_to_events only; counter sampling
+        # must never leak into it.
+        result = simulate(tiny_job())
+        assert counter_events(result.trace)
+        assert all(e["ph"] == "X" for e in trace_to_events(result.trace))
+
+
+class TestCustomSubscribers:
+    def test_instruction_events_reach_a_subscriber(self):
+        class Census:
+            def __init__(self):
+                self.started = 0
+                self.completed = 0
+
+            def attach(self, bus):
+                bus.subscribe(InstructionStarted, self.on_start)
+                bus.subscribe(InstructionCompleted, self.on_done)
+
+            def on_start(self, event):
+                self.started += 1
+
+            def on_done(self, event):
+                self.completed += 1
+
+        job = tiny_job()
+        census = Census()
+        program = _program(job)
+        result = Interpreter(program, subscribers=(census,)).run()
+        assert result.ok
+        assert census.started == len(program)
+        # Only Record-carrying instructions complete "observably".
+        assert 0 < census.completed <= census.started
+
+    def test_subscribers_do_not_perturb_the_trace(self):
+        job = tiny_job()
+        baseline = simulate(job)
+
+        class Noisy:
+            def attach(self, bus):
+                bus.subscribe(InstructionStarted, lambda e: None)
+                bus.subscribe(MemoryChanged, lambda e: None)
+
+        observed = Interpreter(_program(job), subscribers=(Noisy(),)).run()
+        assert trace_digest(observed.trace) == trace_digest(baseline.trace)
+
+    def test_fault_window_auditor_is_clean_on_a_faulted_run(self):
+        job = tiny_job()
+        base = simulate(job)
+        faults = FaultSchedule(faults=(
+            FaultSpec(kind=FaultKind.DEVICE_FAIL, start=base.makespan * 0.5,
+                      device=1, restart_latency=0.05),
+        ))
+        auditor = FaultWindowAuditor()
+        result = Interpreter(
+            _program(job, faults=faults), subscribers=(auditor,)
+        ).run()
+        assert result.ok
+        assert result.resilience is not None and result.resilience.failures
+        assert auditor.ok, auditor.violations
+        assert auditor._outages  # the failure was observed live
+
+    def test_fault_window_auditor_flags_a_violation(self):
+        auditor = FaultWindowAuditor()
+        auditor.attach(EventBus())  # exercised standalone below
+        auditor._outages.append((0, 1.0, 2.0))
+        fake = Compute(iid=0, name="fwd.s0.mb0.l0", stream=("compute", 0),
+                       stream_mode="fifo", duration=0.1, device=0,
+                       stage=0, microbatch=0, layer=0, op="fwd")
+        auditor.on_instruction_started(
+            InstructionStarted(instruction=fake, time=1.5)
+        )
+        assert not auditor.ok
+        assert "outage" in auditor.violations[0]

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.core.plan import Action, MemorySavingPlan, PlanEntry, empty_plan
+from repro.core.plan import Action, PlanEntry, empty_plan
 from repro.core.striping import build_stripe_plan
 from repro.graph.tensor import TensorKind, tensor_classes_for
 from repro.sim.executor import ExecOptions, PipelineExecutor, simulate
 from repro.units import GiB, MiB
 
-from tests.conftest import small_server, tiny_job, tiny_model
+from tests.conftest import small_server, tiny_job
 
 
 def _classes(job):

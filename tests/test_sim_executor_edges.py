@@ -6,7 +6,7 @@ from repro.core.plan import MemorySavingPlan
 from repro.errors import SimulationError
 from repro.sim.executor import PipelineExecutor, simulate
 
-from tests.conftest import small_server, tiny_job
+from tests.conftest import tiny_job
 
 
 class TestDeviceMaps:
