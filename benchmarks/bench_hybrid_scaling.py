@@ -1,0 +1,55 @@
+"""Hybrid DP x PP scaling curve (topology-aware extension).
+
+Not a paper figure: MPress trains one pipeline per server.  This
+benchmark splits the server into data-parallel replicas, prices the
+gradient all-reduce with the topology-aware collective models, and
+reports weak-scaling throughput as replicas are added — the curve
+that tells an operator when shorter pipelines plus all-reduce beat
+one long pipeline.
+"""
+
+import pytest
+
+from repro.analysis.dp_scaling import dp_scaling_sweep
+from repro.analysis.reporting import format_table
+from repro.hardware import dgx1_server
+from repro.job import pipedream_job
+from repro.models import bert_variant
+
+
+@pytest.mark.benchmark(group="hybrid")
+def test_dp_scaling_curve(once, runtime):
+    """Samples/s vs. replica count for Bert-0.35B/PipeDream (DGX-1)."""
+
+    def measure():
+        job = pipedream_job(bert_variant(0.35), dgx1_server())
+        return dp_scaling_sweep(
+            job,
+            dp_grid=(1, 2, 4),
+            system="recomputation",
+            runtime=runtime,
+        )
+
+    cells = once(measure)
+    rows = []
+    for cell in cells:
+        rows.append([
+            str(cell.dp),
+            f"{cell.samples_per_second:.1f}",
+            f"{cell.tflops:.1f}",
+            f"{1000 * cell.exposed_allreduce:.2f}",
+            f"{cell.peak_gib:.1f}",
+            f"{100 * cell.scaling_efficiency:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["dp", "samples/s", "TFLOPS", "exposed all-reduce (ms)",
+         "peak GiB", "scaling eff."],
+        rows,
+        title="Hybrid DP x PP weak scaling (Bert-0.35B, recomputation)",
+    ))
+    assert all(cell.ok for cell in cells)
+    assert cells[0].dp == 1 and cells[0].scaling_efficiency == pytest.approx(1.0)
+    # Replication costs an all-reduce: efficiency stays below perfect.
+    for cell in cells[1:]:
+        assert 0.0 < cell.scaling_efficiency <= 1.0 + 1e-9

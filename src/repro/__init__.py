@@ -30,6 +30,8 @@ __all__ = [
     "simulate",
     "MPress",
     "run_zero",
+    "run_hybrid",
+    "HybridConfig",
     "FaultSpec",
     "FaultSchedule",
     "random_schedule",
@@ -50,6 +52,10 @@ def __getattr__(name):
         from repro.baselines.zero import run_zero
 
         return run_zero
+    if name in ("run_hybrid", "HybridConfig"):
+        from repro.parallel import hybrid
+
+        return getattr(hybrid, name)
     if name in ("FaultSpec", "FaultSchedule", "random_schedule"):
         from repro import faults
 

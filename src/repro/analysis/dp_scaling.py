@@ -1,0 +1,136 @@
+"""DP-scaling sweeps: hybrid throughput as replicas are added.
+
+For each data-parallel degree on a grid, run the hybrid DP x PP job
+through the sweep runtime (each cell a content-addressed
+:class:`~repro.runtime.task.SimTask` with a ``HybridConfig``), and
+record throughput, the exposed all-reduce tail, and the scaling
+efficiency against the ``dp=1`` pipeline.  One row per replica
+count, CSV export included, following :mod:`repro.analysis.sweep`.
+
+The job spec is per replica (weak scaling): perfect scaling doubles
+samples/s with ``dp``; anything lost went to gradient
+synchronisation or to the shorter pipelines' worse bubble ratio.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.job import TrainingJob
+from repro.parallel.hybrid import HybridConfig
+
+
+@dataclass(frozen=True)
+class DPScalingCell:
+    """One replica-count measurement of a hybrid scaling sweep."""
+
+    dp: int
+    ok: bool
+    samples_per_second: float
+    tflops: float
+    minibatch_time: float
+    exposed_allreduce: float
+    peak_gib: float
+    scaling_efficiency: float   # samples/s over dp x the dp=1 rate
+
+
+FIELDS = ["dp", "ok", "samples_per_second", "tflops", "minibatch_time",
+          "exposed_allreduce", "peak_gib", "scaling_efficiency"]
+
+
+def dp_scaling_tasks(
+    job: TrainingJob,
+    dp_grid: Sequence[int] = (1, 2, 4),
+    system: str = "recomputation",
+    algorithm: str = "auto",
+    bucket_bytes: Optional[int] = None,
+) -> List["SimTask"]:
+    """The sweep's task list (one content-addressed cell per degree)."""
+    from repro.runtime.task import SimTask
+
+    tasks = []
+    for dp in dp_grid:
+        kwargs = {"dp": dp, "algorithm": algorithm}
+        if bucket_bytes is not None:
+            kwargs["bucket_bytes"] = bucket_bytes
+        tasks.append(SimTask(
+            label=f"dp-scaling/{system}/{job.server.name}/dp={dp}",
+            job=job,
+            system=system,
+            hybrid=HybridConfig(**kwargs),
+        ))
+    return tasks
+
+
+def dp_scaling_sweep(
+    job: TrainingJob,
+    dp_grid: Sequence[int] = (1, 2, 4),
+    system: str = "recomputation",
+    algorithm: str = "auto",
+    bucket_bytes: Optional[int] = None,
+    runtime: Optional["SweepRuntime"] = None,
+) -> List[DPScalingCell]:
+    """Throughput vs. replica count for one (per-replica) job spec.
+
+    Every degree must divide the server's GPU count and leave at
+    least two pipeline stages per replica.  Cells run through
+    ``runtime`` (default serial/uncached) as independent hybrid
+    tasks, so a warmed cache resolves the whole curve without a
+    single simulation.
+    """
+    from repro.runtime.pool import run_tasks
+    from repro.runtime.task import peak_gib
+
+    tasks = dp_scaling_tasks(job, dp_grid, system, algorithm, bucket_bytes)
+    records = run_tasks(tasks, runtime).records()
+
+    base_rate = 0.0
+    for dp, record in zip(dp_grid, records):
+        if dp == 1 and record is not None and record["ok"]:
+            base_rate = record["samples_per_second"]
+    cells: List[DPScalingCell] = []
+    for dp, record in zip(dp_grid, records):
+        ok = record is not None and bool(record["ok"])
+        hybrid = record.get("hybrid") if record else None
+        rate = record["samples_per_second"] if ok else 0.0
+        efficiency = rate / (dp * base_rate) if ok and base_rate > 0 else 0.0
+        cells.append(DPScalingCell(
+            dp=dp,
+            ok=ok,
+            samples_per_second=rate,
+            tflops=record["tflops"] if ok else 0.0,
+            minibatch_time=record["minibatch_time"] if ok else 0.0,
+            exposed_allreduce=(
+                hybrid["exposed_allreduce"] if ok and hybrid else 0.0
+            ),
+            peak_gib=peak_gib(record) if ok else 0.0,
+            scaling_efficiency=efficiency,
+        ))
+    return cells
+
+
+def to_csv(cells: Sequence[DPScalingCell]) -> str:
+    """Render DP-scaling cells as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for cell in cells:
+        writer.writerow({
+            "dp": cell.dp,
+            "ok": int(cell.ok),
+            "samples_per_second": f"{cell.samples_per_second:.3f}",
+            "tflops": f"{cell.tflops:.3f}",
+            "minibatch_time": f"{cell.minibatch_time:.6f}",
+            "exposed_allreduce": f"{cell.exposed_allreduce:.6f}",
+            "peak_gib": f"{cell.peak_gib:.3f}",
+            "scaling_efficiency": f"{cell.scaling_efficiency:.4f}",
+        })
+    return buffer.getvalue()
+
+
+def save_csv(cells: Sequence[DPScalingCell], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_csv(cells))

@@ -29,7 +29,8 @@ the host cache per step under ZeRO-Infinity's prefetcher.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.server import Server
@@ -55,6 +56,57 @@ COMM_OVERLAP = 0.5
 
 # Ring-allreduce efficiency over the aggregate NVLink bandwidth.
 RING_EFFICIENCY = 0.8
+
+COMM_MODELS = ("analytic", "collective")
+
+
+@dataclass(frozen=True)
+class ZeroOptions:
+    """Calibration knobs of the ZeRO analytic model.
+
+    Defaults reproduce the historical module constants exactly, so
+    existing sweeps, goldens, and cache entries are unchanged unless
+    a knob is moved.
+
+    ``comm_model`` selects how collective traffic is priced:
+
+    * ``"analytic"`` (default) — the original flat-rate model:
+      three full-model fp16 volumes over the aggregate NVLink
+      bandwidth derated by ``ring_efficiency``;
+    * ``"collective"`` — per-layer ring all-gather (forward and
+      backward) plus ring reduce-scatter, priced by the
+      topology-aware schedule model in :mod:`repro.collectives`, so
+      latency per layer and the actual link graph (e.g. the DGX-1
+      cube mesh's weak edges) shape the communication time.
+    """
+
+    mfu: float = ZERO_MFU
+    ring_efficiency: float = RING_EFFICIENCY
+    comm_overlap: float = COMM_OVERLAP
+    cpu_adam_bw: float = CPU_ADAM_BW
+    nvme_cold_fraction: float = NVME_COLD_FRACTION
+    comm_model: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mfu <= 1.0:
+            raise ConfigurationError(f"mfu must be in (0, 1], got {self.mfu}")
+        if not 0.0 < self.ring_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"ring efficiency must be in (0, 1], got {self.ring_efficiency}")
+        if not 0.0 <= self.comm_overlap <= 1.0:
+            raise ConfigurationError(
+                f"comm overlap must be in [0, 1], got {self.comm_overlap}")
+        if self.cpu_adam_bw <= 0:
+            raise ConfigurationError(
+                f"CPU Adam bandwidth must be positive, got {self.cpu_adam_bw}")
+        if not 0.0 <= self.nvme_cold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"NVMe cold fraction must be in [0, 1], "
+                f"got {self.nvme_cold_fraction}")
+        if self.comm_model not in COMM_MODELS:
+            raise ConfigurationError(
+                f"unknown comm model {self.comm_model!r}; "
+                f"options: {COMM_MODELS}")
 
 
 @dataclass(frozen=True)
@@ -105,19 +157,65 @@ def zero_memory_per_gpu(model: ModelSpec, server: Server, local_batch: int) -> i
     return shard + gather_buffer + boundaries + largest_act
 
 
+def zero_comm_time(model: ModelSpec, server: Server,
+                   options: ZeroOptions) -> float:
+    """ZeRO-3 collective traffic per step, priced per ``comm_model``.
+
+    Both models move the same three full-model fp16 volumes (param
+    all-gather for forward and for backward, gradient
+    reduce-scatter); they differ in how the wire time is computed.
+    """
+    params = model.total_params
+    param_bytes = params * costs.PARAM_BYTES
+    if options.comm_model == "analytic":
+        ring_bw = (
+            server.topology.lane_budget
+            * server.topology.nvlink.sustained_bandwidth
+            * options.ring_efficiency
+        )
+        return 3.0 * param_bytes / ring_bw
+    from repro.collectives.cost import collective_time
+    from repro.collectives.schedule import (
+        ring_all_gather,
+        ring_order,
+        ring_reduce_scatter,
+    )
+
+    topology = server.topology
+    order = ring_order(topology, tuple(range(server.n_gpus)))
+    total = 0.0
+    for layer in model.layers:
+        layer_bytes = layer.params * costs.PARAM_BYTES
+        if layer_bytes <= 0:
+            continue
+        gather = collective_time(
+            ring_all_gather(order, layer_bytes), topology, server.pcie)
+        scatter = collective_time(
+            ring_reduce_scatter(order, layer_bytes), topology, server.pcie)
+        total += 2.0 * gather + scatter
+    return total
+
+
 def run_zero(
     model: ModelSpec,
     server: Server,
     variant: str,
     samples_per_minibatch: int,
-    mfu: float = ZERO_MFU,
+    mfu: Optional[float] = None,
+    options: Optional[ZeroOptions] = None,
 ) -> ZeroResult:
     """Evaluate one ZeRO variant's training step on ``server``.
 
-    ``variant`` is ``"offload"`` or ``"infinity"``.
+    ``variant`` is ``"offload"`` or ``"infinity"``.  ``options``
+    carries the calibration knobs; the legacy ``mfu`` argument, when
+    given, overrides ``options.mfu``.
     """
     if variant not in ("offload", "infinity"):
         raise ConfigurationError(f"unknown ZeRO variant {variant!r}")
+    if options is None:
+        options = ZeroOptions()
+    if mfu is not None:
+        options = replace(options, mfu=mfu)
     n = server.n_gpus
     if samples_per_minibatch % n != 0:
         raise ConfigurationError("minibatch must divide evenly across GPUs")
@@ -138,31 +236,27 @@ def run_zero(
     # Recomputation re-runs the forward pass: 4/3 of model FLOPs.
     model_flops = model.iteration_flops(samples_per_minibatch)
     compute = model_flops * (4.0 / 3.0) / (
-        n * server.gpus[0].peak_flops("fp16") * mfu
+        n * server.gpus[0].peak_flops("fp16") * options.mfu
     )
 
     # ZeRO-3 collectives: params allgathered for forward and backward,
     # gradients reduce-scattered — three full-model fp16 volumes.
-    ring_bw = (
-        server.topology.lane_budget
-        * server.topology.nvlink.sustained_bandwidth
-        * RING_EFFICIENCY
-    )
-    comm = 3.0 * param_bytes / ring_bw
-    comm_exposed = max(0.0, comm - COMM_OVERLAP * compute)
+    comm = zero_comm_time(model, server, options)
+    comm_exposed = max(0.0, comm - options.comm_overlap * compute)
 
     if variant == "offload":
         # Per-step: fp16 gradients stream to host, updated fp16
         # parameters stream back (per-GPU shards).
         pcie = 2.0 * (param_bytes / n) / server.pcie.sustained_bandwidth
-        cpu_adam = (optimizer_bytes + param_bytes) / n / CPU_ADAM_BW
-        offload_exposed = cpu_adam + max(0.0, pcie - COMM_OVERLAP * compute)
+        cpu_adam = (optimizer_bytes + param_bytes) / n / options.cpu_adam_bw
+        offload_exposed = cpu_adam + max(
+            0.0, pcie - options.comm_overlap * compute)
     else:
         # GPU-side update with host swapping: optimizer state round
         # trip over PCIe, largely overlapped; the cold parameter
         # fraction misses the host cache and pays NVMe rates.
         pcie = 2.0 * (optimizer_bytes / n) / server.pcie.sustained_bandwidth
-        cold = NVME_COLD_FRACTION * param_bytes
+        cold = options.nvme_cold_fraction * param_bytes
         nvme = cold / server.nvme.read_bandwidth + cold / server.nvme.write_bandwidth
         offload_exposed = max(0.0, pcie - 0.7 * compute) + nvme
 

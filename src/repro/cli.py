@@ -201,11 +201,17 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_zero(args) -> int:
-    from repro.baselines.zero import run_zero
+    from repro.baselines.zero import ZeroOptions, run_zero
 
     model = _parse_model(args.model)
     server = _build_server(args.server)
-    result = run_zero(model, server, args.variant, args.samples)
+    options = ZeroOptions(
+        ring_efficiency=args.ring_efficiency,
+        comm_overlap=args.comm_overlap,
+        comm_model=args.comm_model,
+    )
+    result = run_zero(model, server, args.variant, args.samples,
+                      options=options)
     if not result.ok:
         print(f"ZeRO-{args.variant} cannot train {model.config.name}: {result.reason}")
         return 1
@@ -214,6 +220,59 @@ def _cmd_zero(args) -> int:
           f"(compute {result.compute_time:.2f}s, "
           f"comm exposed {result.comm_exposed:.2f}s, "
           f"offload exposed {result.offload_exposed:.2f}s)")
+    return 0
+
+
+def _cmd_hybrid(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.parallel import HybridConfig, run_hybrid
+    from repro.units import MiB
+
+    job = _build_job(args)
+    config = HybridConfig(
+        dp=args.dp,
+        algorithm=args.algorithm,
+        bucket_bytes=int(args.bucket_mib * MiB),
+        overlap=not args.no_overlap,
+        collective_mode=args.collective,
+        placement_mode=args.placement,
+    )
+    result = run_hybrid(job, config, system=args.system)
+    status = "ok" if result.ok else "OUT OF MEMORY"
+    print(f"{job.model.config.name} / dp={config.dp} x "
+          f"{result.placement.stages_per_replica}-stage {args.system} "
+          f"on {job.server.name}: {status}")
+    groups = " | ".join(
+        ",".join(str(d) for d in group) for group in result.placement.groups)
+    print(f"  placement ({result.placement.mode}): {groups}")
+    if not result.ok:
+        print(f"  {result.oom}")
+        return 1
+    print(f"  throughput: {result.tflops:.1f} TFLOPS "
+          f"({result.samples_per_second:.1f} samples/s, "
+          f"{result.dp} x {job.samples_per_minibatch} samples/minibatch)")
+    print(f"  minibatch: {result.minibatch_time * 1e3:.2f} ms "
+          f"(replica {result.replica_minibatch_time * 1e3:.2f} ms + "
+          f"exposed all-reduce {result.exposed_allreduce * 1e3:.2f} ms)")
+    if result.stage_allreduce:
+        rows = [
+            [
+                str(sync.stage),
+                ",".join(str(d) for d in sync.devices),
+                sync.algorithm,
+                fmt_bytes(sync.grad_bytes),
+                str(sync.n_buckets),
+                f"{sync.allreduce_seconds * 1e3:.3f}",
+                f"{sync.exposed_seconds * 1e3:.3f}",
+            ]
+            for sync in result.stage_allreduce
+        ]
+        print(format_table(
+            ["stage", "devices", "algorithm", "grads", "buckets",
+             "all-reduce ms", "exposed ms"],
+            rows, title="gradient synchronisation"))
+    peaks = result.peak_memory_per_gpu()
+    print(f"  per-GPU peaks: {' '.join(fmt_bytes(p) for p in peaks)}")
     return 0
 
 
@@ -371,7 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
     zero.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
     zero.add_argument("--variant", default="offload", choices=("offload", "infinity"))
     zero.add_argument("--samples", type=int, default=32)
+    zero.add_argument("--ring-efficiency", type=float, default=0.8,
+                      help="flat-model all-reduce efficiency (analytic mode)")
+    zero.add_argument("--comm-overlap", type=float, default=0.5,
+                      help="fraction of compute collectives overlap with")
+    zero.add_argument("--comm-model", default="analytic",
+                      choices=("analytic", "collective"),
+                      help="flat-rate constants or topology-aware schedules")
     zero.set_defaults(func=_cmd_zero)
+
+    hybrid = sub.add_parser(
+        "hybrid", help="hybrid data x pipeline parallel run")
+    add_job_args(hybrid)
+    hybrid.add_argument("--system", default="mpress", choices=SYSTEMS,
+                        help="per-replica memory-saving system")
+    hybrid.add_argument("--dp", type=int, default=2,
+                        help="data-parallel degree (replica count)")
+    hybrid.add_argument("--algorithm", default="auto",
+                        choices=("auto", "ring", "tree", "hierarchical"),
+                        help="gradient all-reduce algorithm")
+    hybrid.add_argument("--bucket-mib", type=float, default=25.0,
+                        metavar="MIB", help="gradient bucket size in MiB")
+    hybrid.add_argument("--no-overlap", action="store_true",
+                        help="disable backward/all-reduce overlap")
+    hybrid.add_argument("--collective", default="analytic",
+                        choices=("analytic", "simulate"),
+                        help="price collectives analytically or via the IR")
+    hybrid.add_argument("--placement", default="auto",
+                        choices=("auto", "contiguous", "strided", "islands"),
+                        help="replica placement over the topology")
+    hybrid.set_defaults(func=_cmd_hybrid)
 
     capacity = sub.add_parser("capacity", help="largest trainable variant")
     capacity.add_argument("--family", required=True, choices=("bert", "gpt"))
@@ -386,7 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a grid of simulations (parallel, cached)")
     sweep.add_argument("--preset", default=None,
-                       help="a named grid: fig7, fig8-dgx1, fig8-dgx2, fig9")
+                       help="a named grid: fig7, fig8-dgx1, fig8-dgx2, "
+                            "fig9, hybrid-dgx1")
     sweep.add_argument("--models", default=None,
                        help="comma list, e.g. bert-0.64,gpt-5.3")
     sweep.add_argument("--server", default="dgx1", choices=sorted(SERVERS))

@@ -1,0 +1,72 @@
+"""Collective-communication models over the simulated interconnect.
+
+The paper's data-parallel baselines and any hybrid DP x PP execution
+move gradients and parameters through collectives (all-reduce,
+all-gather, reduce-scatter, broadcast).  This package decomposes each
+collective into *rounds* of point-to-point transfer steps
+(:class:`CollectiveSchedule`), maps rings onto the server topology
+(bottleneck-aware ring ordering, NVLink-island detection for the
+DGX-1 hybrid cube-mesh), and prices a schedule two ways:
+
+* **analytic** (:mod:`repro.collectives.cost`) — closed-form sum of
+  per-round bottleneck transfer times, cheap enough for planners and
+  placement searches;
+* **simulated** (:mod:`repro.collectives.lowering`) — lowered through
+  the typed instruction IR onto the same per-pair NVLink lane / PCIe
+  channels the pipeline simulator uses, so collective time emerges
+  from the message-size-dependent bandwidth curves of Figure 4.
+
+See ``docs/collectives.md`` for the algorithms and the lowering path.
+"""
+
+from repro.collectives.schedule import (
+    CollectiveSchedule,
+    TransferStep,
+    all_reduce_schedule,
+    broadcast_schedule,
+    hierarchical_all_reduce,
+    islands,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_broadcast,
+    ring_order,
+    ring_reduce_scatter,
+    tree_all_reduce,
+    tree_broadcast,
+    tree_reduce,
+)
+from repro.collectives.cost import (
+    all_reduce_time,
+    best_all_reduce,
+    collective_time,
+    pair_transfer_time,
+)
+from repro.collectives.lowering import (
+    lower_collective,
+    simulate_collective,
+    simulate_collective_time,
+)
+
+__all__ = [
+    "CollectiveSchedule",
+    "TransferStep",
+    "all_reduce_schedule",
+    "broadcast_schedule",
+    "hierarchical_all_reduce",
+    "islands",
+    "ring_all_gather",
+    "ring_all_reduce",
+    "ring_broadcast",
+    "ring_order",
+    "ring_reduce_scatter",
+    "tree_all_reduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "all_reduce_time",
+    "best_all_reduce",
+    "collective_time",
+    "pair_transfer_time",
+    "lower_collective",
+    "simulate_collective",
+    "simulate_collective_time",
+]

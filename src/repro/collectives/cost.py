@@ -1,0 +1,87 @@
+"""Closed-form collective costs: the planner's fast path.
+
+A schedule's rounds are barrier-synchronised and its steps within a
+round touch disjoint channels, so the analytic time is simply the sum
+over rounds of the slowest step — each step priced with the same
+:func:`repro.hardware.bandwidth.transfer_time` ramp the instruction
+interpreter uses.  ``tests/test_collectives_lowering.py`` pins the
+analytic and simulated paths against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.bandwidth import transfer_time
+from repro.hardware.links import PCIE3_X16, LinkSpec
+from repro.hardware.topology import Topology
+from repro.collectives.schedule import (
+    ALL_REDUCE_ALGORITHMS,
+    CollectiveSchedule,
+    Round,
+    all_reduce_schedule,
+)
+
+
+def pair_transfer_time(topology: Topology, src: int, dst: int, size_bytes: int,
+                       pcie: LinkSpec = PCIE3_X16) -> float:
+    """Seconds to move ``size_bytes`` between one device pair.
+
+    NVLink pairs stripe across their lanes; pairs without a direct
+    link pay the staged host round-trip (up then down), mirroring the
+    pipeline lowering's PCIe fallback.
+    """
+    lanes = topology.lanes(src, dst)
+    if lanes > 0:
+        return transfer_time(size_bytes, topology.nvlink, lanes=lanes)
+    return 2.0 * transfer_time(size_bytes, pcie, lanes=1)
+
+
+def _round_time(topology: Topology, steps: Round, pcie: LinkSpec) -> float:
+    return max(
+        pair_transfer_time(topology, step.src, step.dst, step.size, pcie)
+        for step in steps
+    )
+
+
+def collective_time(schedule: CollectiveSchedule, topology: Topology,
+                    pcie: LinkSpec = PCIE3_X16) -> float:
+    """Analytic completion time: sum of per-round bottlenecks."""
+    return sum(
+        _round_time(topology, steps, pcie)
+        for steps in schedule.rounds
+        if steps
+    )
+
+
+def all_reduce_time(topology: Topology, group: Sequence[int], size_bytes: int,
+                    algorithm: str = "ring",
+                    pcie: LinkSpec = PCIE3_X16) -> float:
+    """Analytic all-reduce time for a named (or ``auto``) algorithm."""
+    if algorithm == "auto":
+        return best_all_reduce(topology, group, size_bytes, pcie)[1]
+    schedule = all_reduce_schedule(topology, group, size_bytes, algorithm)
+    return collective_time(schedule, topology, pcie)
+
+
+def best_all_reduce(topology: Topology, group: Sequence[int], size_bytes: int,
+                    pcie: LinkSpec = PCIE3_X16,
+                    algorithms: Optional[Sequence[str]] = None,
+                    ) -> Tuple[CollectiveSchedule, float]:
+    """Cheapest all-reduce across the algorithm family.
+
+    Rings amortise bandwidth, trees amortise latency, hierarchical
+    exploits island structure — which one wins depends on message
+    size and topology, so the planner just asks.
+    """
+    candidates = tuple(algorithms) if algorithms else ALL_REDUCE_ALGORITHMS
+    best: Optional[Tuple[CollectiveSchedule, float]] = None
+    for algorithm in candidates:
+        schedule = all_reduce_schedule(topology, group, size_bytes, algorithm)
+        seconds = collective_time(schedule, topology, pcie)
+        if best is None or seconds < best[1]:
+            best = (schedule, seconds)
+    if best is None:
+        raise ConfigurationError("no all-reduce algorithm candidates given")
+    return best

@@ -1,0 +1,156 @@
+"""Lower a collective schedule onto the typed instruction IR.
+
+Each :class:`TransferStep` becomes one ``P2PSend`` per NVLink lane
+(chunks striped across ``topology.lane_channels``) or a staged PCIe
+transfer for unlinked pairs — exactly the channels and bandwidth ramp
+the pipeline lowering uses, so a simulated collective contends on the
+same substrate as everything else.  A zero-duration ``Barrier`` joins
+every round, gating the next one: the simulated makespan therefore
+matches the analytic sum-of-round-bottlenecks model to float
+precision (modulo ceil-division of striped chunks), which
+``tests/test_collectives_lowering.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from repro.hardware.bandwidth import transfer_time
+from repro.hardware.server import Server
+from repro.collectives.schedule import CollectiveSchedule
+from repro.sim.ir import (
+    Barrier,
+    ExecOptions,
+    InstructionProgram,
+    P2PSend,
+    Record,
+    _InstructionDraft,
+    freeze_draft,
+)
+
+
+@dataclass(frozen=True)
+class _CollectiveJob:
+    """Minimal job shim so the interpreter can run a bare collective."""
+
+    server: Server
+    n_minibatches: int = 1
+    samples_per_minibatch: int = 0
+
+    def minibatch_flops(self) -> float:
+        return 0.0
+
+
+class _CollectivePlan:
+    """Plan shim: every stage 'lives' on the schedule's first member."""
+
+    def __init__(self, device: int):
+        self._device = device
+
+    def device_of(self, stage: int) -> int:
+        return self._device
+
+
+def lower_collective(server: Server, schedule: CollectiveSchedule,
+                     options: Optional[ExecOptions] = None) -> InstructionProgram:
+    """Emit the schedule as a P2PSend/Barrier program."""
+    if options is None:
+        options = ExecOptions(record_trace=False)
+    topology = server.topology
+    drafts: List[_InstructionDraft] = []
+    edges: List[Tuple[int, int]] = []
+    stream_order: List[Tuple[Hashable, str]] = []
+    seen_streams = set()
+
+    def emit(factory, name: str, stream: Hashable, duration: float,
+             device: int, deps: Tuple[int, ...], done=(), **fields) -> int:
+        if stream not in seen_streams:
+            seen_streams.add(stream)
+            stream_order.append((stream, "pool"))
+        iid = len(drafts)
+        drafts.append(_InstructionDraft(
+            factory=factory, iid=iid, name=name, stream=stream, mode="pool",
+            duration=duration, device=device, done_effects=list(done),
+            fields=dict(fields),
+        ))
+        for producer in deps:
+            edges.append((iid, producer))
+        return iid
+
+    root = schedule.group[0]
+    gate: Tuple[int, ...] = ()
+    for round_index, steps in enumerate(schedule.rounds):
+        if not steps:
+            continue
+        sends: List[int] = []
+        for step in steps:
+            lanes = topology.lanes(step.src, step.dst)
+            record = ((Record("coll", step.src, round_index),)
+                      if options.record_trace else ())
+            if lanes > 0:
+                channels = topology.lane_channels(step.src, step.dst)[:lanes]
+                share = max(1, -(-step.size // lanes))
+                for lane_index, channel in enumerate(channels):
+                    sends.append(emit(
+                        P2PSend,
+                        name=(f"coll.{schedule.op}.r{round_index}"
+                              f".{step.src}->{step.dst}.l{lane_index}"),
+                        stream=channel,
+                        duration=transfer_time(share, topology.nvlink, lanes=1),
+                        device=step.src,
+                        deps=gate,
+                        done=record if lane_index == 0 else (),
+                        src=step.src,
+                        dst=step.dst,
+                    ))
+            else:
+                # No direct link: stage through the host like the
+                # pipeline's PCIe fallback (up then down).
+                sends.append(emit(
+                    P2PSend,
+                    name=(f"coll.{schedule.op}.r{round_index}"
+                          f".{step.src}->{step.dst}.pcie"),
+                    stream=("pcie_d2h", step.src),
+                    duration=2.0 * transfer_time(step.size, server.pcie, lanes=1),
+                    device=step.src,
+                    deps=gate,
+                    done=record,
+                    src=step.src,
+                    dst=step.dst,
+                ))
+        join = emit(
+            Barrier,
+            name=f"coll.{schedule.op}.r{round_index}.join",
+            stream=("collective", root),
+            duration=0.0,
+            device=root,
+            deps=tuple(sends),
+        )
+        gate = (join,)
+
+    job = _CollectiveJob(server=server)
+    return InstructionProgram(
+        job=job,
+        plan=_CollectivePlan(root),
+        options=options,
+        instructions=tuple(freeze_draft(draft) for draft in drafts),
+        edges=tuple(edges),
+        static_effects=(),
+        stream_order=tuple(stream_order),
+    )
+
+
+def simulate_collective(server: Server, schedule: CollectiveSchedule,
+                        options: Optional[ExecOptions] = None):
+    """Run the lowered collective; returns the ``SimulationResult``."""
+    from repro.sim.interpreter import Interpreter
+
+    program = lower_collective(server, schedule, options)
+    return Interpreter(program).run()
+
+
+def simulate_collective_time(server: Server, schedule: CollectiveSchedule,
+                             options: Optional[ExecOptions] = None) -> float:
+    """Simulated completion time (seconds) of one collective."""
+    return simulate_collective(server, schedule, options).makespan

@@ -1,0 +1,416 @@
+"""Collective algorithms as rounds of point-to-point transfer steps.
+
+A :class:`CollectiveSchedule` is the common currency of this package:
+an ordered tuple of *rounds*, each round an unordered set of
+:class:`TransferStep` pairs that proceed concurrently, with a
+synchronisation point between rounds.  The analytic cost model prices
+each round at its bottleneck pair; the IR lowering emits one
+``P2PSend`` per NVLink lane per step and a zero-duration barrier per
+round, so both paths agree on the schedule's structure.
+
+Three algorithm families are modelled:
+
+* **ring** — reduce-scatter / all-gather / all-reduce over a cycle
+  through the group.  ``n-1`` rounds per phase, each moving
+  ``ceil(S/n)`` bytes on every edge of the cycle, so the cost is set
+  by the *weakest* cycle edge.  :func:`ring_order` searches cycle
+  permutations for the one that maximises the minimum lane count —
+  on the DGX-1 hybrid cube-mesh no Hamiltonian cycle avoids
+  single-brick links, which is exactly why hierarchical wins there.
+* **tree** — binomial reduce / broadcast over ``ceil(log2 n)`` rounds
+  of full-size messages.  Fewer rounds means less latency: trees win
+  for small messages, rings for large ones (the NCCL crossover).
+* **hierarchical** — ring reduce-scatter inside each NVLink *island*
+  (the components of the >=2-lane subgraph; on DGX-1 the two quads
+  ``{0,3,4,7}`` / ``{1,2,5,6}``), a cross-island ring all-reduce per
+  chunk position, then an intra-island all-gather.  Keeps the bulk of
+  the traffic on double-brick links.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import Topology
+
+Round = Tuple["TransferStep", ...]
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """One point-to-point message: ``size`` bytes from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(
+                f"transfer endpoints must differ, got {self.src}->{self.dst}")
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"transfer size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True)
+class CollectiveSchedule:
+    """A collective decomposed into synchronised rounds of transfers."""
+
+    op: str                      # "all_reduce" | "all_gather" | ...
+    algorithm: str               # "ring" | "tree" | "hierarchical"
+    group: Tuple[int, ...]       # participating device ids
+    size_bytes: int              # logical payload of the collective
+    rounds: Tuple[Round, ...]
+
+    def __post_init__(self) -> None:
+        members = frozenset(self.group)
+        if len(self.group) < 2 or len(members) != len(self.group):
+            raise ConfigurationError(
+                f"collective group needs >= 2 distinct devices, got {self.group}")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"collective size must be positive, got {self.size_bytes}")
+        for rnd in self.rounds:
+            for step in rnd:
+                if step.src not in members or step.dst not in members:
+                    raise ConfigurationError(
+                        f"step {step.src}->{step.dst} leaves group {self.group}")
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def n_steps(self) -> int:
+        return sum(len(rnd) for rnd in self.rounds)
+
+    def total_bytes(self) -> int:
+        """Bytes crossing links over the whole schedule (all steps)."""
+        return sum(step.size for rnd in self.rounds for step in rnd)
+
+
+def _chunk(size: int, parts: int) -> int:
+    """Ceil-divide ``size`` into ``parts``, never below one byte."""
+    return max(1, -(-size // parts))
+
+
+def _require_group(group: Sequence[int]) -> Tuple[int, ...]:
+    group = tuple(group)
+    if len(group) < 2 or len(set(group)) != len(group):
+        raise ConfigurationError(
+            f"collective group needs >= 2 distinct devices, got {group}")
+    return group
+
+
+# -- ring family ---------------------------------------------------------
+
+
+def ring_reduce_scatter(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """``n-1`` rounds; every node forwards one ``S/n`` chunk per round."""
+    order = _require_group(order)
+    n = len(order)
+    chunk = _chunk(size_bytes, n)
+    rounds = tuple(
+        tuple(TransferStep(order[i], order[(i + 1) % n], chunk) for i in range(n))
+        for _ in range(n - 1)
+    )
+    return CollectiveSchedule(op="reduce_scatter", algorithm="ring",
+                              group=order, size_bytes=size_bytes, rounds=rounds)
+
+
+def ring_all_gather(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Same wire pattern as reduce-scatter, payload flowing instead of sums."""
+    scatter = ring_reduce_scatter(order, size_bytes)
+    return CollectiveSchedule(op="all_gather", algorithm="ring",
+                              group=scatter.group, size_bytes=size_bytes,
+                              rounds=scatter.rounds)
+
+
+def ring_all_reduce(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Reduce-scatter then all-gather: ``2(n-1)`` rounds of ``S/n`` chunks."""
+    scatter = ring_reduce_scatter(order, size_bytes)
+    gather = ring_all_gather(order, size_bytes)
+    return CollectiveSchedule(op="all_reduce", algorithm="ring",
+                              group=scatter.group, size_bytes=size_bytes,
+                              rounds=scatter.rounds + gather.rounds)
+
+
+def ring_broadcast(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Pipelined chain broadcast from ``order[0]`` down the line.
+
+    The payload is cut into ``n`` chunks that stream down the chain;
+    with ``k = n`` chunks the chain drains in ``(n - 2) + k`` rounds,
+    each active edge carrying one ``S/n`` chunk.
+    """
+    order = _require_group(order)
+    n = len(order)
+    chunk = _chunk(size_bytes, n)
+    rounds: List[Round] = []
+    for r in range(n - 2 + n):
+        steps = tuple(
+            TransferStep(order[i], order[i + 1], chunk)
+            for i in range(n - 1)
+            if 0 <= r - i < n
+        )
+        if steps:
+            rounds.append(steps)
+    return CollectiveSchedule(op="broadcast", algorithm="ring",
+                              group=order, size_bytes=size_bytes,
+                              rounds=tuple(rounds))
+
+
+# -- tree family ---------------------------------------------------------
+
+
+def _binomial_rounds(order: Tuple[int, ...], size: int,
+                     toward_root: bool) -> Tuple[Round, ...]:
+    """Binomial-tree rounds over ``order`` with ``order[0]`` as root."""
+    n = len(order)
+    rounds: List[Round] = []
+    distance = 1
+    while distance < n:
+        steps = []
+        for i in range(distance, n, 2 * distance):
+            partner = i - distance
+            if toward_root:
+                steps.append(TransferStep(order[i], order[partner], size))
+            else:
+                steps.append(TransferStep(order[partner], order[i], size))
+        rounds.append(tuple(steps))
+        distance *= 2
+    if not toward_root:
+        # Reduce combines nearest partners first (ascending distance);
+        # broadcast is its mirror — the root seeds the farthest subtree
+        # before recipients fan out to their neighbours.
+        rounds.reverse()
+    return tuple(rounds)
+
+
+def tree_reduce(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Binomial reduce to ``order[0]``: ``ceil(log2 n)`` full-size rounds."""
+    order = _require_group(order)
+    return CollectiveSchedule(op="reduce", algorithm="tree", group=order,
+                              size_bytes=size_bytes,
+                              rounds=_binomial_rounds(order, size_bytes, True))
+
+
+def tree_broadcast(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Binomial broadcast from ``order[0]``."""
+    order = _require_group(order)
+    return CollectiveSchedule(op="broadcast", algorithm="tree", group=order,
+                              size_bytes=size_bytes,
+                              rounds=_binomial_rounds(order, size_bytes, False))
+
+
+def tree_all_reduce(order: Sequence[int], size_bytes: int) -> CollectiveSchedule:
+    """Reduce to the root, broadcast back out: ``2 ceil(log2 n)`` rounds."""
+    reduce_part = tree_reduce(order, size_bytes)
+    bcast_part = tree_broadcast(order, size_bytes)
+    return CollectiveSchedule(op="all_reduce", algorithm="tree",
+                              group=reduce_part.group, size_bytes=size_bytes,
+                              rounds=reduce_part.rounds + bcast_part.rounds)
+
+
+# -- topology-aware ordering --------------------------------------------
+
+
+_RING_CACHE: Dict[Tuple, Tuple[int, ...]] = {}
+
+
+def _topology_key(topology: Topology) -> Tuple:
+    """Hashable identity of a topology (``adjacency`` is a dict)."""
+    if topology.kind == "switched":
+        return ("switched", topology.n_gpus, topology.lane_budget)
+    edges = tuple(sorted(
+        (tuple(sorted(pair)), count)
+        for pair, count in topology.adjacency.items()
+    ))
+    return ("direct", topology.n_gpus, topology.lane_budget, edges)
+
+
+def _cycle_score(topology: Topology, cycle: Tuple[int, ...]) -> Tuple[int, int]:
+    """(weakest edge, total lanes) — the ring cost is set by the weakest."""
+    lanes = [topology.lanes(cycle[i], cycle[(i + 1) % len(cycle)])
+             for i in range(len(cycle))]
+    return (min(lanes), sum(lanes))
+
+
+def ring_order(topology: Topology, group: Sequence[int]) -> Tuple[int, ...]:
+    """Cycle through ``group`` that maximises the weakest-edge lane count.
+
+    On a switched fabric every pair is equivalent, so the sorted group
+    is returned as-is.  On a direct topology all distinct cycles
+    (permutations fixing the first member, reflections collapsed) are
+    scored by ``(min lanes, total lanes)``; ties break on the
+    lexicographically smallest cycle so the result is deterministic.
+    Memoised per (topology, group) — the DGX-1 8-GPU search visits
+    7!/2 = 2520 cycles once, then never again.
+    """
+    group = _require_group(group)
+    members = tuple(sorted(group))
+    if topology.kind == "switched" or len(members) <= 3:
+        return members
+    key = (_topology_key(topology), members)
+    cached = _RING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    first = members[0]
+    best_cycle: Tuple[int, ...] = members
+    best_score = _cycle_score(topology, members)
+    for perm in itertools.permutations(members[1:]):
+        if perm[0] > perm[-1]:
+            continue            # a cycle equals its reflection
+        cycle = (first,) + perm
+        score = _cycle_score(topology, cycle)
+        if score > best_score or (score == best_score and cycle < best_cycle):
+            best_score = score
+            best_cycle = cycle
+    _RING_CACHE[key] = best_cycle
+    return best_cycle
+
+
+def islands(topology: Topology, group: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Partition ``group`` into NVLink islands for hierarchical collectives.
+
+    On a direct topology the islands are the connected components of
+    the subgraph induced by pairs with >= 2 lanes — on the DGX-1 cube
+    mesh that yields the two double-brick quads.  The partition is
+    accepted only if it has >= 2 equal-size islands of >= 2 members
+    each; otherwise an even-size group is split into sorted halves
+    (the only sensible partition on a symmetric crossbar), and
+    anything else stays a single island.
+    """
+    group = _require_group(group)
+    members = sorted(group)
+    if topology.kind == "direct":
+        parent = {device: device for device in members}
+
+        def find(device: int) -> int:
+            while parent[device] != device:
+                parent[device] = parent[parent[device]]
+                device = parent[device]
+            return device
+
+        for a, b in itertools.combinations(members, 2):
+            if topology.lanes(a, b) >= 2:
+                parent[find(a)] = find(b)
+        components: Dict[int, List[int]] = {}
+        for device in members:
+            components.setdefault(find(device), []).append(device)
+        parts = tuple(sorted(tuple(sorted(c)) for c in components.values()))
+        sizes = {len(part) for part in parts}
+        if len(parts) >= 2 and len(sizes) == 1 and sizes.pop() >= 2:
+            return parts
+    if len(members) >= 4 and len(members) % 2 == 0:
+        half = len(members) // 2
+        return (tuple(members[:half]), tuple(members[half:]))
+    return (tuple(members),)
+
+
+def _align_island(topology: Topology, reference: Tuple[int, ...],
+                  cycle: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Rotate/reflect ``cycle`` to face ``reference`` over the best lanes.
+
+    Cross-island rings pair position ``p`` of every island, so the
+    rotation of each cycle decides which inter-island links carry the
+    traffic.  Rotations and reflections leave the intra-island ring
+    cost untouched, which makes this alignment free.
+    """
+    if topology.kind == "switched":
+        return cycle
+    n = len(cycle)
+    variants = []
+    for direction in (cycle, tuple(reversed(cycle))):
+        for shift in range(n):
+            variants.append(direction[shift:] + direction[:shift])
+    best = None
+    best_score = None
+    for variant in variants:
+        lanes = [topology.lanes(reference[p], variant[p]) for p in range(n)]
+        score = (min(lanes), sum(lanes))
+        if best_score is None or score > best_score or (
+                score == best_score and variant < best):
+            best_score = score
+            best = variant
+    return best
+
+
+def _merge_rounds(parts: Sequence[Tuple[Round, ...]]) -> Tuple[Round, ...]:
+    """Zip concurrent schedules round-by-round into one round stream."""
+    rounds: List[Round] = []
+    for zipped in itertools.zip_longest(*parts, fillvalue=()):
+        merged = tuple(step for rnd in zipped for step in rnd)
+        if merged:
+            rounds.append(merged)
+    return tuple(rounds)
+
+
+def hierarchical_all_reduce(topology: Topology, group: Sequence[int],
+                            size_bytes: int) -> CollectiveSchedule:
+    """Intra-island reduce-scatter, cross-island all-reduce, all-gather.
+
+    With ``g`` islands of ``m`` members: ``m-1`` rounds of ``S/m``
+    chunks inside every island (concurrently), ``2(g-1)`` rounds of
+    ``S/(m*g)`` chunks across islands (one ring per chunk position,
+    concurrently), then ``m-1`` gather rounds.  Falls back to a plain
+    topology-ordered ring when no usable island partition exists.
+    """
+    group = _require_group(group)
+    parts = islands(topology, group)
+    if len(parts) < 2 or any(len(part) < 2 for part in parts):
+        return ring_all_reduce(ring_order(topology, group), size_bytes)
+    orders = [ring_order(topology, part) for part in parts]
+    reference = orders[0]
+    orders = [reference] + [_align_island(topology, reference, cycle)
+                            for cycle in orders[1:]]
+    m = len(reference)
+    g = len(orders)
+    chunk = _chunk(size_bytes, m)
+
+    scatter = _merge_rounds([ring_reduce_scatter(order, size_bytes).rounds
+                             for order in orders])
+    cross_groups = [tuple(order[p] for order in orders) for p in range(m)]
+    cross = _merge_rounds([ring_all_reduce(cross_group, chunk).rounds
+                           for cross_group in cross_groups])
+    gather = _merge_rounds([ring_all_gather(order, size_bytes).rounds
+                            for order in orders])
+    return CollectiveSchedule(op="all_reduce", algorithm="hierarchical",
+                              group=group, size_bytes=size_bytes,
+                              rounds=scatter + cross + gather)
+
+
+# -- dispatchers ---------------------------------------------------------
+
+
+ALL_REDUCE_ALGORITHMS = ("ring", "tree", "hierarchical")
+
+
+def all_reduce_schedule(topology: Topology, group: Sequence[int],
+                        size_bytes: int, algorithm: str = "ring") -> CollectiveSchedule:
+    """Build one all-reduce schedule for a named algorithm."""
+    group = _require_group(group)
+    if algorithm == "ring":
+        return ring_all_reduce(ring_order(topology, group), size_bytes)
+    if algorithm == "tree":
+        return tree_all_reduce(tuple(sorted(group)), size_bytes)
+    if algorithm == "hierarchical":
+        return hierarchical_all_reduce(topology, group, size_bytes)
+    raise ConfigurationError(
+        f"unknown all-reduce algorithm {algorithm!r}; "
+        f"expected one of {ALL_REDUCE_ALGORITHMS}")
+
+
+def broadcast_schedule(topology: Topology, group: Sequence[int],
+                       size_bytes: int, algorithm: str = "tree") -> CollectiveSchedule:
+    """Build one broadcast schedule for a named algorithm."""
+    group = _require_group(group)
+    if algorithm == "ring":
+        return ring_broadcast(ring_order(topology, group), size_bytes)
+    if algorithm == "tree":
+        return tree_broadcast(tuple(sorted(group)), size_bytes)
+    raise ConfigurationError(
+        f"unknown broadcast algorithm {algorithm!r}; expected 'ring' or 'tree'")

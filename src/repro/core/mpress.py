@@ -48,17 +48,20 @@ class MPress:
         job: TrainingJob,
         config: Optional[PlannerConfig] = None,
         faults: Optional[FaultSchedule] = None,
+        reserve_bytes: int = 0,
     ):
         self.job = job
         self.config = config if config is not None else PlannerConfig()
         self.faults = faults
+        self.reserve_bytes = reserve_bytes
         self._plan: Optional[MemorySavingPlan] = None
         self._report: Optional[PlannerReport] = None
 
     def build_plan(self) -> MemorySavingPlan:
         """Run MPress Static (profiler/planner/rewriter/emulator loop)."""
         if self._plan is None:
-            planner = Planner(self.job, self.config, faults=self.faults)
+            planner = Planner(self.job, self.config, faults=self.faults,
+                              reserve_bytes=self.reserve_bytes)
             self._plan, self._report = planner.build()
         return self._plan
 
@@ -87,7 +90,8 @@ class MPress:
 
 
 def run_system(
-    job: TrainingJob, system: str, faults: Optional[FaultSchedule] = None
+    job: TrainingJob, system: str, faults: Optional[FaultSchedule] = None,
+    reserve_bytes: int = 0,
 ) -> MPressResult:
     """Run one of the paper's five system configurations.
 
@@ -96,6 +100,9 @@ def run_system(
     (MPress with D2D swap only), or "mpress" (all three techniques).
     An optional fault schedule is injected into the training run (and
     informs planning for the planner-backed systems).
+    ``reserve_bytes`` shrinks the planner's fit target (hybrid DP
+    runs reserve gradient-bucket staging space); "none" has no
+    planner, so the reserve is advisory there.
     """
     if system == "none":
         from repro.core.plan import empty_plan
@@ -113,4 +120,5 @@ def run_system(
         return MPressResult(
             job=job, plan=plan, planner_report=report, simulation=simulation
         )
-    return MPress(job, baseline_config(system), faults=faults).run()
+    return MPress(job, baseline_config(system), faults=faults,
+                  reserve_bytes=reserve_bytes).run()

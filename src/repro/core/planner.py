@@ -95,6 +95,7 @@ class Planner:
         job: TrainingJob,
         config: PlannerConfig = PlannerConfig(),
         faults: Optional[FaultSchedule] = None,
+        reserve_bytes: int = 0,
     ):
         self.job = job
         self.config = config
@@ -105,7 +106,13 @@ class Planner:
             faults.degraded_devices() if faults is not None else set()
         )
         self._capacity = job.server.gpu_memory
-        self._target = int(self._capacity * (1.0 - config.fit_margin))
+        # ``reserve_bytes`` is carved out of the fit target before
+        # planning — hybrid DP x PP runs park gradient-bucket staging
+        # buffers there, so plans leave room for them.
+        self.reserve_bytes = max(0, reserve_bytes)
+        self._target = (
+            int(self._capacity * (1.0 - config.fit_margin)) - self.reserve_bytes
+        )
 
     # -- public API --------------------------------------------------------
 

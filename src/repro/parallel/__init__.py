@@ -1,0 +1,42 @@
+"""Hybrid data x pipeline parallelism on one server.
+
+Replica placement over the topology, per-replica sub-servers, DDP
+gradient bucketing with backward overlap, and the ``run_hybrid``
+entry point that composes replicas (each a full memory-managed
+pipeline) with topology-aware all-reduce from
+:mod:`repro.collectives`.
+"""
+
+from repro.parallel.bucketing import (
+    GradientBucket,
+    exposed_allreduce_time,
+    gradient_buckets,
+)
+from repro.parallel.hybrid import (
+    COLLECTIVE_MODES,
+    HybridConfig,
+    HybridResult,
+    StageAllReduce,
+    run_hybrid,
+)
+from repro.parallel.placement import (
+    PLACEMENT_MODES,
+    ReplicaPlacement,
+    replica_placement,
+    sub_server,
+)
+
+__all__ = [
+    "GradientBucket",
+    "exposed_allreduce_time",
+    "gradient_buckets",
+    "COLLECTIVE_MODES",
+    "HybridConfig",
+    "HybridResult",
+    "StageAllReduce",
+    "run_hybrid",
+    "PLACEMENT_MODES",
+    "ReplicaPlacement",
+    "replica_placement",
+    "sub_server",
+]

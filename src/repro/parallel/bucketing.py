@@ -1,0 +1,83 @@
+"""Gradient bucketing with backward-overlap accounting.
+
+DDP-style training doesn't all-reduce one giant gradient tensor: it
+fills fixed-size buckets as the backward pass produces gradients
+(output-side layers first) and launches each bucket's all-reduce as
+soon as it fills, overlapping communication with the rest of the
+backward.  The model here is deliberately coarse — bucket ``i`` of
+``B`` becomes ready at fraction ``(i+1)/B`` of the backward window,
+and all-reduces serialise on the communication channel — but it
+captures the two effects that matter: more/smaller buckets overlap
+better until latency dominates, and only the *tail* of the
+communication is exposed beyond the backward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GradientBucket:
+    """One all-reduce unit: ``size`` bytes, ready part-way into backward."""
+
+    index: int
+    size: int
+    ready_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"bucket size must be positive, got {self.size}")
+        if not 0.0 < self.ready_fraction <= 1.0:
+            raise ConfigurationError(
+                f"ready fraction must be in (0, 1], got {self.ready_fraction}")
+
+
+def gradient_buckets(grad_bytes: int, bucket_bytes: int
+                     ) -> Tuple[GradientBucket, ...]:
+    """Split ``grad_bytes`` into buckets of at most ``bucket_bytes``."""
+    if grad_bytes <= 0:
+        raise ConfigurationError(
+            f"gradient bytes must be positive, got {grad_bytes}")
+    if bucket_bytes <= 0:
+        raise ConfigurationError(
+            f"bucket bytes must be positive, got {bucket_bytes}")
+    n = max(1, -(-grad_bytes // bucket_bytes))
+    buckets = []
+    remaining = grad_bytes
+    for index in range(n):
+        size = min(bucket_bytes, remaining)
+        remaining -= size
+        buckets.append(GradientBucket(
+            index=index, size=size, ready_fraction=(index + 1) / n))
+    return tuple(buckets)
+
+
+def exposed_allreduce_time(buckets: Sequence[GradientBucket],
+                           allreduce_seconds: Sequence[float],
+                           backward_window: float,
+                           overlap: bool = True) -> float:
+    """Communication time left exposed beyond the backward window.
+
+    Without overlap every all-reduce waits for the full backward, so
+    everything is exposed.  With overlap, bucket ``i``'s all-reduce
+    starts at ``max(ready_i * window, previous finish)`` and the
+    exposed time is whatever spills past the window.
+    """
+    if len(buckets) != len(allreduce_seconds):
+        raise ConfigurationError(
+            f"{len(buckets)} buckets but {len(allreduce_seconds)} times")
+    if backward_window < 0:
+        raise ConfigurationError(
+            f"backward window must be >= 0, got {backward_window}")
+    if not overlap:
+        return float(sum(allreduce_seconds))
+    finish = 0.0
+    for bucket, seconds in zip(buckets, allreduce_seconds):
+        start = max(bucket.ready_fraction * backward_window, finish)
+        finish = start + seconds
+    return max(0.0, finish - backward_window)

@@ -1,0 +1,248 @@
+"""Hybrid data x pipeline parallelism over one multi-GPU server.
+
+``run_hybrid`` splits the server into ``dp`` replica groups (see
+:mod:`repro.parallel.placement`), runs the full memory-managed
+pipeline inside each replica through the existing system facade, and
+layers DDP-style gradient synchronisation on top: per-stage gradient
+buckets all-reduce across the replicas' stage groups, overlapping
+with the backward drain of the pipeline schedule.
+
+Modelling choices, deliberately explicit:
+
+* the job spec is *per replica* (weak scaling): every replica
+  processes ``samples_per_minibatch`` samples, so hybrid throughput
+  is ``dp * samples_per_minibatch / minibatch_time``;
+* replicas are homogeneous, so the hybrid minibatch time is the
+  slowest replica plus the worst stage's exposed all-reduce tail —
+  synchronous DP applied to PipeDream is an approximation (real
+  PipeDream would version weights), noted in ``docs/collectives.md``;
+* each replica's planner reserves ``2 * bucket_bytes`` of GPU memory
+  for double-buffered bucket staging (wired through
+  ``Planner(reserve_bytes=...)``), and the same reserve is added to
+  the reported per-GPU peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.job import TrainingJob
+from repro.collectives.cost import best_all_reduce, collective_time
+from repro.collectives.lowering import simulate_collective_time
+from repro.collectives.schedule import ALL_REDUCE_ALGORITHMS, all_reduce_schedule
+from repro.parallel.bucketing import (
+    GradientBucket,
+    exposed_allreduce_time,
+    gradient_buckets,
+)
+from repro.parallel.placement import (
+    PLACEMENT_MODES,
+    ReplicaPlacement,
+    replica_placement,
+    sub_server,
+)
+
+COLLECTIVE_MODES = ("analytic", "simulate")
+DEFAULT_BUCKET_BYTES = 25 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Knobs of one hybrid DP x PP execution (hashable, picklable)."""
+
+    dp: int = 2
+    algorithm: str = "auto"               # all-reduce algorithm or "auto"
+    bucket_bytes: int = DEFAULT_BUCKET_BYTES
+    overlap: bool = True
+    collective_mode: str = "analytic"     # "analytic" | "simulate"
+    placement_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.dp < 1:
+            raise ConfigurationError(
+                f"data-parallel degree must be >= 1, got {self.dp}")
+        if self.bucket_bytes <= 0:
+            raise ConfigurationError(
+                f"bucket bytes must be positive, got {self.bucket_bytes}")
+        if self.algorithm != "auto" and self.algorithm not in ALL_REDUCE_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown all-reduce algorithm {self.algorithm!r}; options: "
+                f"{('auto',) + ALL_REDUCE_ALGORITHMS}")
+        if self.collective_mode not in COLLECTIVE_MODES:
+            raise ConfigurationError(
+                f"unknown collective mode {self.collective_mode!r}; "
+                f"options: {COLLECTIVE_MODES}")
+        if self.placement_mode not in PLACEMENT_MODES:
+            raise ConfigurationError(
+                f"unknown placement mode {self.placement_mode!r}; "
+                f"options: {PLACEMENT_MODES}")
+
+
+@dataclass(frozen=True)
+class StageAllReduce:
+    """Gradient synchronisation accounting for one pipeline stage."""
+
+    stage: int
+    devices: Tuple[int, ...]
+    algorithm: str
+    grad_bytes: int
+    n_buckets: int
+    allreduce_seconds: float    # total wire time of all buckets
+    exposed_seconds: float      # tail left after backward overlap
+
+
+@dataclass
+class HybridResult:
+    """Replica runs plus the DP synchronisation layered on top."""
+
+    job: TrainingJob
+    config: HybridConfig
+    system: str
+    placement: ReplicaPlacement
+    replicas: List            # MPressResult per replica
+    stage_allreduce: List[StageAllReduce]
+
+    @property
+    def ok(self) -> bool:
+        return all(replica.ok for replica in self.replicas)
+
+    @property
+    def dp(self) -> int:
+        return self.placement.dp
+
+    @property
+    def exposed_allreduce(self) -> float:
+        if not self.stage_allreduce:
+            return 0.0
+        return max(sync.exposed_seconds for sync in self.stage_allreduce)
+
+    @property
+    def replica_minibatch_time(self) -> float:
+        return max(
+            replica.simulation.minibatch_time for replica in self.replicas)
+
+    @property
+    def minibatch_time(self) -> float:
+        return self.replica_minibatch_time + self.exposed_allreduce
+
+    @property
+    def makespan(self) -> float:
+        longest = max(replica.simulation.makespan for replica in self.replicas)
+        return longest + self.job.n_minibatches * self.exposed_allreduce
+
+    @property
+    def samples_per_second(self) -> float:
+        if not self.ok or self.minibatch_time <= 0:
+            return 0.0
+        return self.dp * self.job.samples_per_minibatch / self.minibatch_time
+
+    @property
+    def tflops(self) -> float:
+        if not self.ok or self.minibatch_time <= 0:
+            return 0.0
+        replica_flops = self.replicas[0].job.minibatch_flops()
+        return self.dp * replica_flops / self.minibatch_time / 1e12
+
+    @property
+    def oom(self) -> Optional[str]:
+        for index, replica in enumerate(self.replicas):
+            if not replica.ok:
+                return f"replica {index}: {replica.simulation.oom}"
+        return None
+
+    def peak_memory_per_gpu(self) -> List[int]:
+        """Per-GPU peaks on the *full* server (bucket staging added)."""
+        peaks = [0] * self.job.server.n_gpus
+        staging = 2 * self.config.bucket_bytes if self.dp > 1 else 0
+        for group, replica in zip(self.placement.groups, self.replicas):
+            if not replica.ok:
+                continue
+            for local, peak in enumerate(replica.simulation.peak_memory_per_gpu):
+                peaks[group[local]] = int(peak) + staging
+        return peaks
+
+
+def _stage_sync(job: TrainingJob, config: HybridConfig,
+                placement: ReplicaPlacement, replica) -> List[StageAllReduce]:
+    """Per-stage bucket all-reduce accounting against replica 0."""
+    server = job.server
+    topology = server.topology
+    stages = placement.stages_per_replica
+    schedule = replica.job.schedule
+    last_minibatch = replica.job.n_minibatches - 1
+    syncs: List[StageAllReduce] = []
+    for stage in range(stages):
+        group = placement.stage_group(stage)
+        grad_bytes = (replica.job.stage_plan.stage(stage).params
+                      * job.bytes_per_element)
+        if grad_bytes <= 0:
+            continue
+        buckets = gradient_buckets(grad_bytes, config.bucket_bytes)
+        times, algorithm = _bucket_times(topology, group, buckets, config,
+                                         server)
+        drain = schedule.backward_drain(stage, last_minibatch)
+        device = replica.plan.device_of(stage)
+        window = drain * replica.job.backward_time(stage, device)
+        exposed = exposed_allreduce_time(buckets, times, window,
+                                         overlap=config.overlap)
+        syncs.append(StageAllReduce(
+            stage=stage,
+            devices=group,
+            algorithm=algorithm,
+            grad_bytes=grad_bytes,
+            n_buckets=len(buckets),
+            allreduce_seconds=float(sum(times)),
+            exposed_seconds=exposed,
+        ))
+    return syncs
+
+
+def _bucket_times(topology, group, buckets: Tuple[GradientBucket, ...],
+                  config: HybridConfig, server) -> Tuple[List[float], str]:
+    """Per-bucket all-reduce seconds (bucket sizes dedupe to <= 2)."""
+    by_size: Dict[int, Tuple[float, str]] = {}
+    for bucket in buckets:
+        if bucket.size in by_size:
+            continue
+        if config.algorithm == "auto":
+            schedule, _ = best_all_reduce(topology, group, bucket.size,
+                                          pcie=server.pcie)
+        else:
+            schedule = all_reduce_schedule(topology, group, bucket.size,
+                                           config.algorithm)
+        if config.collective_mode == "simulate":
+            seconds = simulate_collective_time(server, schedule)
+        else:
+            seconds = collective_time(schedule, topology, server.pcie)
+        by_size[bucket.size] = (seconds, schedule.algorithm)
+    times = [by_size[bucket.size][0] for bucket in buckets]
+    algorithm = by_size[buckets[0].size][1]
+    return times, algorithm
+
+
+def run_hybrid(job: TrainingJob, config: Optional[HybridConfig] = None,
+               system: str = "mpress") -> HybridResult:
+    """Run a hybrid DP x PP job: ``dp`` replicas plus gradient sync."""
+    from repro.core.mpress import run_system
+
+    if config is None:
+        config = HybridConfig()
+    placement = replica_placement(job.server.topology, config.dp,
+                                  mode=config.placement_mode)
+    if config.dp == 1:
+        replica = run_system(job, system)
+        return HybridResult(job=job, config=config, system=system,
+                            placement=placement, replicas=[replica],
+                            stage_allreduce=[])
+    reserve = 2 * config.bucket_bytes
+    replicas = []
+    for group in placement.groups:
+        replica_job = replace(job, server=sub_server(job.server, group))
+        replicas.append(run_system(replica_job, system,
+                                   reserve_bytes=reserve))
+    syncs = _stage_sync(job, config, placement, replicas[0])
+    return HybridResult(job=job, config=config, system=system,
+                        placement=placement, replicas=replicas,
+                        stage_allreduce=syncs)

@@ -92,6 +92,30 @@ class PipelineSchedule:
         self._check_stage(stage)
         return self.per_stage[stage]
 
+    def backward_drain(self, stage: int, minibatch: int) -> int:
+        """Trailing backward-only run of ``minibatch`` on ``stage``.
+
+        The number of consecutive backward ops at the end of the
+        minibatch's compute window (before any optimizer step) with
+        no forward interleaved.  This is the window data-parallel
+        gradient bucketing can overlap all-reduce against: once the
+        last forward retires, the stage only produces gradients.
+        """
+        self._check_stage(stage)
+        ops = [
+            op for op in self.per_stage[stage]
+            if op.minibatch == minibatch and op.kind is not OpKind.OPTIMIZER
+        ]
+        if not ops:
+            raise ScheduleError(
+                f"minibatch {minibatch} never runs on stage {stage}")
+        drain = 0
+        for op in reversed(ops):
+            if op.kind is not OpKind.BACKWARD:
+                break
+            drain += 1
+        return drain
+
     # -- validation --------------------------------------------------------
 
     def _validate_counts(self) -> None:

@@ -14,6 +14,7 @@ from repro.core.planner import PlannerConfig
 from repro.hardware.server import Server, dgx1_server, dgx2_server
 from repro.job import dapple_job, pipedream_job
 from repro.models import bert_variant, gpt_variant
+from repro.parallel.hybrid import HybridConfig
 from repro.runtime.task import SimTask
 
 FIG7_SIZES = (0.35, 0.64, 1.67, 4.0, 6.2)
@@ -79,11 +80,32 @@ def fig9_tasks(servers=None) -> List[SimTask]:
     return tasks
 
 
+# Hybrid DP x PP scaling grid: replica counts on one DGX-1.
+HYBRID_DP_GRID = (1, 2, 4)
+HYBRID_SYSTEM = "recomputation"
+
+
+def hybrid_tasks(server: Server = None, billions: float = 0.35) -> List[SimTask]:
+    """DP-scaling grid: Bert x replica counts (PipeDream, per-replica)."""
+    server = server if server is not None else dgx1_server()
+    job = pipedream_job(bert_variant(billions), server)
+    tasks = []
+    for dp in HYBRID_DP_GRID:
+        tasks.append(SimTask(
+            label=f"hybrid/{server.name}/bert-{billions}/dp={dp}",
+            job=job,
+            system=HYBRID_SYSTEM,
+            hybrid=HybridConfig(dp=dp),
+        ))
+    return tasks
+
+
 PRESETS = {
     "fig7": lambda: fig7_tasks(),
     "fig8-dgx1": lambda: fig8_tasks(dgx1_server()),
     "fig8-dgx2": lambda: fig8_tasks(dgx2_server()),
     "fig9": lambda: fig9_tasks(),
+    "hybrid-dgx1": lambda: hybrid_tasks(dgx1_server()),
 }
 
 

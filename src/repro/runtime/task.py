@@ -45,6 +45,7 @@ from repro.core.serialization import (
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSchedule
 from repro.job import TrainingJob
+from repro.parallel.hybrid import HybridConfig
 
 # Code-relevant version salt: bump whenever simulator/planner
 # semantics change, so stale cache entries can never satisfy a sweep
@@ -66,7 +67,10 @@ class SimTask:
     the cache key; every other field is semantic.  When ``plan`` is
     set the task *replays* that plan through the executor instead of
     planning from scratch; when ``config`` is set the task runs the
-    MPress facade under that explicit planner configuration.
+    MPress facade under that explicit planner configuration.  When
+    ``hybrid`` is set the task runs ``run_hybrid`` — ``system``
+    names the per-replica memory system and the hybrid layer adds
+    gradient synchronisation on top.
     """
 
     label: str
@@ -76,6 +80,7 @@ class SimTask:
     faults: Optional[FaultSchedule] = None
     plan: Optional[MemorySavingPlan] = None
     record_trace: bool = True
+    hybrid: Optional[HybridConfig] = None
 
     def __post_init__(self) -> None:
         known = _SYSTEMS + _ZERO_SYSTEMS
@@ -89,14 +94,31 @@ class SimTask:
             raise ConfigurationError(
                 "ZeRO tasks take no planner config or plan"
             )
+        if self.hybrid is not None:
+            if self.system not in _SYSTEMS:
+                raise ConfigurationError(
+                    "hybrid tasks need a pipeline system, not "
+                    f"{self.system!r}"
+                )
+            if self.config is not None or self.plan is not None \
+                    or self.faults is not None:
+                raise ConfigurationError(
+                    "hybrid tasks take no planner config, plan, or faults"
+                )
 
     @property
     def is_zero(self) -> bool:
         return self.system in _ZERO_SYSTEMS
 
     def key_payload(self) -> Dict:
-        """The semantic content hashed into the cache key."""
-        return {
+        """The semantic content hashed into the cache key.
+
+        The ``hybrid`` key is only present for hybrid tasks, so the
+        payloads — and therefore the content addresses — of every
+        pre-hybrid task are byte-identical to what they always were
+        and shared cache directories stay warm.
+        """
+        payload = {
             "job": canonical_payload(self.job),
             "system": self.system,
             "config": canonical_payload(self.config),
@@ -106,6 +128,9 @@ class SimTask:
                 if self.plan is not None else None
             ),
         }
+        if self.hybrid is not None:
+            payload["hybrid"] = canonical_payload(self.hybrid)
+        return payload
 
     def cache_key(self) -> str:
         """Content address of this task's result."""
@@ -134,6 +159,8 @@ def execute_task(task: SimTask) -> Dict:
     """
     if task.is_zero:
         return _execute_zero(task)
+    if task.hybrid is not None:
+        return _execute_hybrid(task)
     if task.plan is not None:
         from repro.sim.executor import simulate
 
@@ -189,6 +216,64 @@ def _simulation_record(task: SimTask, simulation, plan, feasible) -> Dict:
             "lost_seconds": report.lost_seconds,
         }
     return record
+
+
+def _execute_hybrid(task: SimTask) -> Dict:
+    from repro.parallel.hybrid import run_hybrid
+
+    result = run_hybrid(task.job, task.hybrid, system=task.system)
+    ok = result.ok
+    return {
+        "version": RECORD_VERSION,
+        "label": task.label,
+        "system": task.system,
+        "ok": ok,
+        "oom": result.oom,
+        "tflops": result.tflops,
+        "samples_per_second": result.samples_per_second,
+        "minibatch_time": result.minibatch_time,
+        "makespan": result.makespan if ok else 0.0,
+        "peak_bytes_per_gpu": result.peak_memory_per_gpu() if ok else [],
+        "feasible": all(
+            replica.planner_report.feasible for replica in result.replicas
+        ),
+        "plan": None,
+        "trace_digest": (
+            trace_digest(result.replicas[0].simulation.trace) if ok else None
+        ),
+        "n_trace_events": (
+            len(result.replicas[0].simulation.trace.events) if ok else 0
+        ),
+        "resilience": None,
+        "zero": None,
+        "hybrid": {
+            "dp": result.dp,
+            "placement_mode": result.placement.mode,
+            "groups": [list(group) for group in result.placement.groups],
+            "bucket_bytes": task.hybrid.bucket_bytes,
+            "collective_mode": task.hybrid.collective_mode,
+            "overlap": task.hybrid.overlap,
+            "replica_minibatch_time": result.replica_minibatch_time,
+            "exposed_allreduce": result.exposed_allreduce,
+            "stage_allreduce": [
+                {
+                    "stage": sync.stage,
+                    "devices": list(sync.devices),
+                    "algorithm": sync.algorithm,
+                    "grad_bytes": sync.grad_bytes,
+                    "n_buckets": sync.n_buckets,
+                    "allreduce_seconds": sync.allreduce_seconds,
+                    "exposed_seconds": sync.exposed_seconds,
+                }
+                for sync in result.stage_allreduce
+            ],
+            "replica_trace_digests": [
+                trace_digest(replica.simulation.trace)
+                if replica.ok else None
+                for replica in result.replicas
+            ],
+        },
+    }
 
 
 def _execute_zero(task: SimTask) -> Dict:

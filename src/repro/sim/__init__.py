@@ -40,6 +40,10 @@ _LAZY = {
     "SimulationResult": ("repro.sim.interpreter", "SimulationResult"),
     "PipelineExecutor": ("repro.sim.executor", "PipelineExecutor"),
     "simulate": ("repro.sim.executor", "simulate"),
+    # Collective lowering lives in repro.collectives but runs on this
+    # substrate; re-exported here as part of the executor facade.
+    "simulate_collective": ("repro.collectives.lowering", "simulate_collective"),
+    "lower_collective": ("repro.collectives.lowering", "lower_collective"),
 }
 
 
@@ -84,4 +88,6 @@ __all__ = [
     "SimulationResult",
     "PipelineExecutor",
     "simulate",
+    "simulate_collective",
+    "lower_collective",
 ]

@@ -109,3 +109,70 @@ class TestInternals:
         small = zero_memory_per_gpu(model, server, local_batch=1)
         large = zero_memory_per_gpu(model, server, local_batch=8)
         assert large > small
+
+
+class TestZeroOptions:
+    def test_defaults_match_legacy_constants(self):
+        from dataclasses import replace
+
+        from repro.baselines.zero import (
+            COMM_OVERLAP,
+            RING_EFFICIENCY,
+            ZERO_MFU,
+            ZeroOptions,
+        )
+
+        options = ZeroOptions()
+        assert options.mfu == ZERO_MFU
+        assert options.ring_efficiency == RING_EFFICIENCY
+        assert options.comm_overlap == COMM_OVERLAP
+        assert options.comm_model == "analytic"
+        # Passing explicit defaults is byte-identical to passing none.
+        model, server = gpt_variant(10.3), dgx1_server()
+        assert run_zero(model, server, "offload", 32,
+                        options=options) == run_zero(model, server,
+                                                     "offload", 32)
+        assert replace(options) == options
+
+    def test_mfu_argument_overrides_options(self):
+        from repro.baselines.zero import ZeroOptions
+
+        model, server = gpt_variant(10.3), dgx1_server()
+        base = run_zero(model, server, "offload", 32,
+                        options=ZeroOptions(mfu=0.2))
+        bumped = run_zero(model, server, "offload", 32, mfu=0.4,
+                          options=ZeroOptions(mfu=0.2))
+        assert bumped.compute_time < base.compute_time
+
+    def test_ring_efficiency_scales_comm(self):
+        from repro.baselines.zero import ZeroOptions, zero_comm_time
+
+        model, server = gpt_variant(10.3), dgx1_server()
+        slow = zero_comm_time(model, server,
+                              ZeroOptions(ring_efficiency=0.4))
+        fast = zero_comm_time(model, server,
+                              ZeroOptions(ring_efficiency=0.8))
+        assert slow == pytest.approx(2 * fast)
+
+    def test_collective_comm_model_prices_topology(self):
+        from repro.baselines.zero import ZeroOptions, zero_comm_time
+
+        model, server = gpt_variant(10.3), dgx1_server()
+        analytic = zero_comm_time(model, server, ZeroOptions())
+        collective = zero_comm_time(
+            model, server, ZeroOptions(comm_model="collective"))
+        # The schedule-based model sees per-round bottlenecks and
+        # setup latency the flat-rate model idealises away.
+        assert collective > analytic
+
+    def test_options_validate(self):
+        from repro.baselines.zero import ZeroOptions
+
+        with pytest.raises(ConfigurationError):
+            ZeroOptions(mfu=0.0)
+        with pytest.raises(ConfigurationError):
+            ZeroOptions(ring_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            ZeroOptions(comm_overlap=-0.1)
+        with pytest.raises(ConfigurationError):
+            ZeroOptions(comm_model="magic")

@@ -207,3 +207,81 @@ class TestPlannerKnobs:
     def test_mapping_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--model", "x", "--mapping", "best"])
+
+
+class TestHybridCommand:
+    def test_registered_in_help(self):
+        assert "hybrid" in build_parser().format_help()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["hybrid", "--model", "bert-0.35"])
+        assert args.dp == 2
+        assert args.system == "mpress"
+        assert args.algorithm == "auto"
+        assert args.bucket_mib == 25.0
+        assert args.placement == "auto"
+        assert not args.no_overlap
+
+    def test_hybrid_run(self, capsys):
+        code = main([
+            "hybrid", "--model", "bert-0.35", "--system", "none",
+            "--dp", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dp=2" in out
+        assert "gradient synchronisation" in out
+        assert "exposed" in out
+
+    def test_hybrid_dp_must_divide(self, capsys):
+        assert main(["hybrid", "--model", "bert-0.35", "--dp", "3"]) == 2
+
+    def test_hybrid_explicit_algorithm_and_placement(self, capsys):
+        code = main([
+            "hybrid", "--model", "bert-0.35", "--system", "none",
+            "--dp", "2", "--algorithm", "ring", "--placement", "contiguous",
+            "--no-overlap",
+        ])
+        assert code == 0
+        assert "ring" in capsys.readouterr().out
+
+
+class TestZeroOptionsFlags:
+    def test_flag_defaults_preserve_output(self, capsys):
+        argv = ["zero", "--model", "gpt-5.3", "--variant", "offload"]
+        assert main(argv) == 0
+        baseline = capsys.readouterr().out
+        assert main(argv + ["--ring-efficiency", "0.8",
+                            "--comm-overlap", "0.5",
+                            "--comm-model", "analytic"]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_comm_model_collective_changes_comm(self, capsys):
+        # bert-0.35 has little compute to hide behind, so the pricier
+        # schedule-based comm model visibly changes the exposed time.
+        argv = ["zero", "--model", "bert-0.35", "--variant", "offload"]
+        assert main(argv) == 0
+        analytic = capsys.readouterr().out
+        assert main(argv + ["--comm-model", "collective"]) == 0
+        collective = capsys.readouterr().out
+        assert collective != analytic
+
+
+class TestCacheEdgeCases:
+    def test_stats_on_missing_directory(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "never-created")
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_clear_on_missing_directory(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "never-created")
+        assert main(["cache", "clear", "--cache", cache_dir]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+
+    def test_stats_and_clear_on_empty_directory(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "empty")
+        (tmp_path / "empty").mkdir()
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", cache_dir]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out

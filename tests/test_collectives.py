@@ -1,0 +1,225 @@
+"""Collective schedules and the analytic cost model."""
+
+import pytest
+
+from repro.collectives import (
+    all_reduce_schedule,
+    all_reduce_time,
+    best_all_reduce,
+    broadcast_schedule,
+    collective_time,
+    hierarchical_all_reduce,
+    islands,
+    pair_transfer_time,
+    ring_all_reduce,
+    ring_broadcast,
+    ring_order,
+    ring_reduce_scatter,
+    tree_all_reduce,
+    tree_broadcast,
+    tree_reduce,
+)
+from repro.collectives.schedule import CollectiveSchedule, TransferStep
+from repro.errors import ConfigurationError
+from repro.hardware.topology import dgx1_topology, dgx2_topology
+from repro.units import MiB
+
+SIZE = 64 * MiB
+
+
+# -- schedule structure --------------------------------------------------
+
+
+def test_transfer_step_validates():
+    with pytest.raises(ConfigurationError):
+        TransferStep(src=1, dst=1, size=4)
+    with pytest.raises(ConfigurationError):
+        TransferStep(src=0, dst=1, size=0)
+
+
+def test_schedule_rejects_steps_outside_group():
+    with pytest.raises(ConfigurationError):
+        CollectiveSchedule(
+            op="all_reduce", algorithm="ring", group=(0, 1),
+            size_bytes=8, rounds=((TransferStep(0, 2, 4),),))
+
+
+def test_schedule_rejects_degenerate_groups():
+    with pytest.raises(ConfigurationError):
+        ring_all_reduce((3,), SIZE)
+    with pytest.raises(ConfigurationError):
+        ring_all_reduce((3, 3), SIZE)
+
+
+def test_ring_reduce_scatter_shape():
+    sched = ring_reduce_scatter((0, 1, 2, 3), SIZE)
+    assert sched.n_rounds == 3
+    assert all(len(rnd) == 4 for rnd in sched.rounds)
+    chunk = -(-SIZE // 4)
+    assert all(step.size == chunk for rnd in sched.rounds for step in rnd)
+    # Every round uses every cycle edge exactly once.
+    edges = {(step.src, step.dst) for step in sched.rounds[0]}
+    assert edges == {(0, 1), (1, 2), (2, 3), (3, 0)}
+
+
+def test_ring_all_reduce_is_scatter_plus_gather():
+    n = 4
+    sched = ring_all_reduce(tuple(range(n)), SIZE)
+    assert sched.n_rounds == 2 * (n - 1)
+    assert sched.total_bytes() == 2 * (n - 1) * n * -(-SIZE // n)
+
+
+def test_ring_broadcast_pipelines_chunks():
+    n = 4
+    sched = ring_broadcast(tuple(range(n)), SIZE)
+    # (n - 2) + n rounds; the first and last rounds have one active edge.
+    assert sched.n_rounds == 2 * n - 2
+    assert len(sched.rounds[0]) == 1
+    assert sched.rounds[0][0].src == 0
+    assert len(sched.rounds[-1]) == 1
+    # Every edge forwards every chunk once: (n-1) * n steps.
+    assert sched.n_steps == (n - 1) * n
+
+
+def test_tree_all_reduce_round_count():
+    for n in (2, 3, 4, 5, 8):
+        sched = tree_all_reduce(tuple(range(n)), SIZE)
+        log2 = (n - 1).bit_length()
+        assert sched.n_rounds == 2 * log2
+        assert all(step.size == SIZE
+                   for rnd in sched.rounds for step in rnd)
+
+
+def test_tree_reduce_combines_leaves_first():
+    sched = tree_reduce((0, 1, 2, 3), SIZE)
+    # Last round flows into the root; earlier rounds touch leaves only.
+    assert all(step.dst == 0 for step in sched.rounds[-1])
+    first_round_nodes = {step.dst for step in sched.rounds[0]}
+    assert 0 in first_round_nodes   # distance-1 partner feeds the root too
+    assert sched.n_steps == 3       # n-1 messages total
+
+
+def test_tree_broadcast_reaches_everyone():
+    sched = tree_broadcast((0, 1, 2, 3, 4), SIZE)
+    reached = {0}
+    for rnd in sched.rounds:
+        for step in rnd:
+            assert step.src in reached
+            reached.add(step.dst)
+    assert reached == {0, 1, 2, 3, 4}
+
+
+# -- topology-aware ordering ---------------------------------------------
+
+
+def test_ring_order_switched_is_sorted():
+    topo = dgx2_topology()
+    assert ring_order(topo, range(16)) == tuple(range(16))
+    assert ring_order(topo, (5, 3, 9)) == (3, 5, 9)
+
+
+def test_ring_order_dgx1_avoids_weak_edges_where_possible():
+    topo = dgx1_topology()
+    cycle = ring_order(topo, range(8))
+    lanes = [topo.lanes(cycle[i], cycle[(i + 1) % 8]) for i in range(8)]
+    # Every edge of the chosen cycle is a real NVLink (the identity
+    # order would route (3,4) and (7,0) over PCIe)...
+    assert min(lanes) >= 1
+    # ...but no Hamiltonian cycle on the cube mesh is all double-brick.
+    assert min(lanes) == 1
+    assert cycle[0] == 0
+
+
+def test_ring_order_is_deterministic_and_cached():
+    topo = dgx1_topology()
+    assert ring_order(topo, range(8)) == ring_order(topo, tuple(range(8)))
+
+
+def test_islands_dgx1_are_the_double_brick_quads():
+    topo = dgx1_topology()
+    assert islands(topo, range(8)) == ((0, 3, 4, 7), (1, 2, 5, 6))
+
+
+def test_islands_switched_splits_halves():
+    topo = dgx2_topology()
+    assert islands(topo, range(8)) == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+
+def test_islands_odd_group_stays_single():
+    topo = dgx2_topology()
+    assert islands(topo, (0, 1, 2)) == ((0, 1, 2),)
+
+
+def test_hierarchical_falls_back_to_ring_on_small_groups():
+    topo = dgx2_topology()
+    sched = hierarchical_all_reduce(topo, (0, 1, 2), SIZE)
+    assert sched.algorithm == "ring"
+
+
+# -- analytic costs ------------------------------------------------------
+
+
+def test_pair_transfer_nvlink_beats_pcie_fallback():
+    topo = dgx1_topology()
+    linked = pair_transfer_time(topo, 0, 1, SIZE)     # NVLink pair
+    unlinked = pair_transfer_time(topo, 3, 4, SIZE)   # no direct link
+    assert linked < unlinked
+
+
+def test_collective_time_is_sum_of_round_bottlenecks():
+    topo = dgx2_topology()
+    sched = ring_all_reduce((0, 1, 2, 3), SIZE)
+    per_round = pair_transfer_time(topo, 0, 1, -(-SIZE // 4))
+    assert collective_time(sched, topo) == pytest.approx(6 * per_round)
+
+
+def test_hierarchical_beats_flat_ring_on_dgx1():
+    topo = dgx1_topology()
+    ring = all_reduce_time(topo, range(8), SIZE, "ring")
+    hier = all_reduce_time(topo, range(8), SIZE, "hierarchical")
+    assert hier < ring
+
+
+def test_hierarchical_converges_with_ring_on_dgx2():
+    """On a symmetric crossbar there is no island structure to exploit:
+    hierarchical only saves the latency of the longer round stream."""
+    topo = dgx2_topology(n_gpus=16)
+    ring = all_reduce_time(topo, range(16), SIZE, "ring")
+    hier = all_reduce_time(topo, range(16), SIZE, "hierarchical")
+    assert hier == pytest.approx(ring, rel=0.25)
+
+
+def test_tree_wins_small_messages_ring_wins_large():
+    topo = dgx2_topology()
+    group = range(8)
+    small, large = 4096, 256 * MiB
+    assert (all_reduce_time(topo, group, small, "tree")
+            < all_reduce_time(topo, group, small, "ring"))
+    assert (all_reduce_time(topo, group, large, "ring")
+            < all_reduce_time(topo, group, large, "tree"))
+
+
+def test_best_all_reduce_matches_auto():
+    topo = dgx1_topology()
+    sched, seconds = best_all_reduce(topo, range(8), SIZE)
+    assert sched.algorithm == "hierarchical"
+    assert seconds == pytest.approx(
+        all_reduce_time(topo, range(8), SIZE, "auto"))
+    assert seconds <= min(
+        all_reduce_time(topo, range(8), SIZE, algorithm)
+        for algorithm in ("ring", "tree", "hierarchical"))
+
+
+def test_dispatchers_reject_unknown_algorithms():
+    topo = dgx2_topology()
+    with pytest.raises(ConfigurationError):
+        all_reduce_schedule(topo, (0, 1), SIZE, algorithm="nccl")
+    with pytest.raises(ConfigurationError):
+        broadcast_schedule(topo, (0, 1), SIZE, algorithm="hierarchical")
+
+
+def test_broadcast_dispatcher_routes_both_algorithms():
+    topo = dgx2_topology()
+    assert broadcast_schedule(topo, (0, 1, 2, 3), SIZE).algorithm == "tree"
+    ring = broadcast_schedule(topo, (0, 1, 2, 3), SIZE, algorithm="ring")
+    assert ring.algorithm == "ring" and ring.op == "broadcast"

@@ -74,6 +74,27 @@ def golden_task(name: str) -> SimTask:
                    faults=faults)
 
 
+# name -> (family, billions, server, pipeline, system, n_minibatches, dp)
+HYBRID_GOLDENS = {
+    "dgx1-pipedream-bert035-recomp-dp2": ("bert", 0.35, "dgx1", "pipedream",
+                                          "recomputation", 6, 2),
+    "dgx2-dapple-gpt53-recomp-dp2": ("gpt", 5.3, "dgx2", "dapple",
+                                     "recomputation", 2, 2),
+}
+
+
+def hybrid_golden_task(name: str) -> SimTask:
+    from repro.parallel.hybrid import HybridConfig
+
+    family, billions, server_name, pipeline, system, nmb, dp = \
+        HYBRID_GOLDENS[name]
+    server = _SERVERS[server_name]()
+    job = _BUILDERS[pipeline](_MODELS[family](billions), server,
+                              n_minibatches=nmb)
+    return SimTask(label=f"golden/{name}", job=job, system=system,
+                   hybrid=HybridConfig(dp=dp))
+
+
 def golden_path(name: str) -> str:
     return os.path.join(GOLDEN_DIR, f"{name}.json")
 
@@ -82,6 +103,32 @@ def golden_path(name: str) -> str:
 def test_golden(name, update_goldens):
     record = execute_task(golden_task(name))
     assert record["ok"], f"golden config {name} must simulate cleanly"
+    path = golden_path(name)
+    if update_goldens:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"name": name, "record": record}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    assert os.path.exists(path), (
+        f"missing golden {path}; run pytest --update-goldens"
+    )
+    with open(path) as handle:
+        golden = json.load(handle)
+    assert record == golden["record"], (
+        f"golden {name} drifted; if the semantic change is intentional, "
+        f"refresh with --update-goldens and bump RUNTIME_CACHE_SALT"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(HYBRID_GOLDENS))
+def test_hybrid_golden(name, update_goldens):
+    """Hybrid DP x PP records pin placement, bucketing, and the
+    per-stage all-reduce schedule alongside the usual metrics."""
+    record = execute_task(hybrid_golden_task(name))
+    assert record["ok"], f"hybrid golden {name} must simulate cleanly"
+    assert record["hybrid"]["dp"] == HYBRID_GOLDENS[name][6]
     path = golden_path(name)
     if update_goldens:
         os.makedirs(GOLDEN_DIR, exist_ok=True)

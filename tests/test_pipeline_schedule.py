@@ -126,3 +126,31 @@ class TestValidation:
             pipedream_schedule(0, 1, 1)
         with pytest.raises(ScheduleError):
             dapple_schedule(2, 0, 1)
+
+
+class TestBackwardDrain:
+    def test_dapple_last_stage_drains_all_microbatches(self):
+        sched = dapple_schedule(4, 1, 4)
+        # 1F1B: the deepest stage ends its minibatch on a full run of
+        # backwards; upstream stages drain progressively less.
+        assert sched.backward_drain(3, 0) >= 1
+        for stage in range(4):
+            assert 1 <= sched.backward_drain(stage, 0) <= 4
+
+    def test_pipedream_drain_positive_everywhere(self):
+        sched = pipedream_schedule(3, 2, 2)
+        for stage in range(3):
+            for minibatch in range(2):
+                assert sched.backward_drain(stage, minibatch) >= 1
+
+    def test_single_microbatch_drains_one(self):
+        sched = dapple_schedule(2, 1, 1)
+        assert sched.backward_drain(0, 0) == 1
+        assert sched.backward_drain(1, 0) == 1
+
+    def test_unknown_minibatch_rejected(self):
+        sched = dapple_schedule(2, 1, 1)
+        with pytest.raises(ScheduleError):
+            sched.backward_drain(0, 5)
+        with pytest.raises(ScheduleError):
+            sched.backward_drain(7, 0)

@@ -1,0 +1,92 @@
+"""Property-based tests for collective cost invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import (
+    all_reduce_time,
+    collective_time,
+    ring_all_reduce,
+    ring_order,
+)
+from repro.hardware.bandwidth import effective_bandwidth
+from repro.hardware.links import NVLINK2, PCIE3_X16
+from repro.hardware.topology import Topology, dgx1_topology
+from repro.units import KiB, MiB
+
+link_specs = st.sampled_from([NVLINK2, PCIE3_X16])
+sizes = st.integers(min_value=1, max_value=1024 * MiB)
+
+
+@given(link=link_specs, small=sizes, large=sizes,
+       lanes=st.integers(min_value=1, max_value=6))
+def test_effective_bandwidth_is_monotone_in_size(link, small, large, lanes):
+    """The Figure-4 ramp: a bigger message never observes *less*
+    bandwidth — setup latency amortises monotonically."""
+    if small > large:
+        small, large = large, small
+    assert (effective_bandwidth(small, link, lanes)
+            <= effective_bandwidth(large, link, lanes) + 1e-12)
+
+
+@given(link=link_specs, size=sizes,
+       lanes=st.integers(min_value=1, max_value=5))
+def test_effective_bandwidth_monotone_in_lanes(link, size, lanes):
+    assert (effective_bandwidth(size, link, lanes)
+            <= effective_bandwidth(size, link, lanes + 1) + 1e-12)
+
+
+@given(link=link_specs, size=st.integers(min_value=1, max_value=1024 * MiB))
+def test_effective_bandwidth_below_sustained(link, size):
+    assert effective_bandwidth(size, link) <= link.sustained_bandwidth
+
+
+def relabeled(topology: Topology, mapping) -> Topology:
+    adjacency = {
+        frozenset((mapping[a], mapping[b])): count
+        for pair, count in topology.adjacency.items()
+        for a, b in [tuple(pair)]
+    }
+    return Topology(n_gpus=topology.n_gpus, kind="direct",
+                    nvlink=topology.nvlink,
+                    lane_budget=topology.lane_budget,
+                    adjacency=adjacency)
+
+
+@given(perm=st.permutations(list(range(8))),
+       size=st.integers(min_value=KiB, max_value=256 * MiB))
+@settings(max_examples=30, deadline=None)
+def test_ring_all_reduce_cost_invariant_under_relabeling(perm, size):
+    """Renaming GPUs consistently (topology + group together) cannot
+    change the optimal ring's cost: the search is over cycles, and a
+    relabeling maps cycles to cycles with identical lane profiles."""
+    topo = dgx1_topology()
+    mapping = {old: new for old, new in enumerate(perm)}
+    relabel = relabeled(topo, mapping)
+    base = collective_time(
+        ring_all_reduce(ring_order(topo, range(8)), size), topo)
+    moved = collective_time(
+        ring_all_reduce(ring_order(relabel, range(8)), size), relabel)
+    assert abs(base - moved) <= 1e-12 * max(base, 1.0)
+
+
+@given(size=st.integers(min_value=1, max_value=1024 * MiB))
+@settings(max_examples=50, deadline=None)
+def test_hierarchical_never_loses_to_flat_ring_on_dgx1(size):
+    """At every message size the island decomposition is at least as
+    good as the best flat ring on the cube mesh."""
+    topo = dgx1_topology()
+    hier = all_reduce_time(topo, range(8), size, "hierarchical")
+    ring = all_reduce_time(topo, range(8), size, "ring")
+    assert hier <= ring + 1e-12
+
+
+@given(size=st.integers(min_value=1, max_value=64 * MiB),
+       group=st.sets(st.integers(min_value=0, max_value=7),
+                     min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_auto_is_the_family_minimum(size, group):
+    topo = dgx1_topology()
+    group = tuple(sorted(group))
+    auto = all_reduce_time(topo, group, size, "auto")
+    for algorithm in ("ring", "tree", "hierarchical"):
+        assert auto <= all_reduce_time(topo, group, size, algorithm) + 1e-12
