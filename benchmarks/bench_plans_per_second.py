@@ -1,0 +1,242 @@
+"""Planner throughput: coarse-to-fine sweep vs simulating everything.
+
+The coarse-to-fine search (``PlannerConfig(search="coarse2fine")``,
+docs/fastpath.md) prices every candidate plan with the analytic
+collective/cost model and only lowers + simulates the profitable
+frontier.  This benchmark measures the end-to-end effect as **plans
+per second** over one candidate sweep:
+
+* **full** — lower and simulate *every* candidate on the reference
+  interpreter (what a search without the analytic tier pays);
+* **coarse2fine** — price every candidate analytically, then lower
+  and simulate only the top-``FRONTIER`` through the incremental
+  fast-path simulator.
+
+Both pipelines evaluate the same candidate set; the committed
+``BENCH_plans_per_second.json`` at the repository root records the
+rates, and the CI ``perf-smoke`` job re-measures the small preset
+against it with a generous regression gate (tests/README.md).
+
+Run from the repository root::
+
+    python benchmarks/bench_plans_per_second.py --preset all \
+        --out BENCH_plans_per_second.json
+    python benchmarks/bench_plans_per_second.py --preset small \
+        --check BENCH_plans_per_second.json --gate 3.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import itertools
+import json
+import sys
+import time
+
+import pytest
+
+FRONTIER = 5
+MAX_CANDIDATES = 60
+
+
+def _small_job():
+    """The memory-pressure miniature used across the unit tests."""
+    from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
+    from repro.hardware.links import NVLINK2
+    from repro.hardware.server import Server
+    from repro.hardware.topology import Topology
+    from repro.job import TrainingJob
+    from repro.models.config import TransformerConfig
+    from repro.models.layers import build_model
+    from repro.units import GBps, GiB, MiB, TFLOP
+
+    gpu = GPUSpec(name="tiny-gpu", memory_bytes=64 * MiB,
+                  peak_fp32=10 * TFLOP, peak_fp16=80 * TFLOP,
+                  hbm_bandwidth=500 * GBps)
+    topology = Topology(n_gpus=4, kind="direct", nvlink=NVLINK2, adjacency={
+        frozenset((0, 1)): 2, frozenset((0, 2)): 1, frozenset((0, 3)): 1,
+        frozenset((1, 2)): 1, frozenset((1, 3)): 1, frozenset((2, 3)): 2,
+    })
+    server = Server(
+        name="small-4gpu", gpus=[gpu] * 4, topology=topology,
+        host=HostSpec(memory_bytes=64 * GiB, vcpus=16),
+        nvme=NVMeSpec(capacity_bytes=512 * GiB, read_bandwidth=4 * GBps,
+                      write_bandwidth=3 * GBps),
+    )
+    model = build_model(TransformerConfig(
+        name="Tiny-12x512", n_layers=12, hidden=512, heads=4,
+        vocab=1000, seq_len=64, max_positions=128,
+    ))
+    return TrainingJob(model=model, server=server, system="dapple",
+                       microbatch_size=2, microbatches_per_minibatch=6,
+                       n_minibatches=2, precision="fp16", mfu=0.5)
+
+
+def _dgx1_job():
+    from repro.hardware.server import dgx1_server
+    from repro.job import pipedream_job
+    from repro.models import bert_variant
+
+    return pipedream_job(bert_variant(0.64), dgx1_server(), n_minibatches=6)
+
+
+PRESETS = {"small": _small_job, "dgx1": _dgx1_job}
+
+
+def _candidate_plans(plan, limit: int = MAX_CANDIDATES):
+    """Plan variants around the planner's chosen plan: single-entry
+    action flips (recompute <-> cpu-swap) plus single and pair entry
+    drops — the neighborhood a refine round would explore."""
+    from repro.core.plan import Action, PlanEntry
+
+    keys = list(plan.entries)
+    out = []
+    for key in keys:
+        entry = plan.entries[key]
+        flipped = None
+        if entry.action is Action.RECOMPUTE:
+            flipped = PlanEntry(cls=entry.cls, action=Action.CPU_SWAP)
+        elif entry.action is Action.CPU_SWAP and entry.cls.recomputable:
+            flipped = PlanEntry(cls=entry.cls, action=Action.RECOMPUTE)
+        if flipped is not None:
+            out.append(dataclasses.replace(
+                plan, entries={**plan.entries, key: flipped}))
+    for width in (1, 2):
+        for combo in itertools.combinations(keys, width):
+            out.append(dataclasses.replace(
+                plan,
+                entries={k: v for k, v in plan.entries.items()
+                         if k not in combo},
+            ))
+            if len(out) >= limit:
+                return out[:limit]
+    return out[:limit]
+
+
+def sweep(preset: str) -> dict:
+    """Evaluate one candidate sweep both ways and report plans/sec."""
+    from repro.core.mpress import MPress
+    from repro.core.planner import CostModel
+    from repro.core.profiler import Profiler
+    from repro.sim.incremental import IncrementalSimulator
+    from repro.sim.interpreter import Interpreter
+    from repro.sim.ir import ExecOptions
+    from repro.sim.lowering import Lowering
+
+    job = PRESETS[preset]()
+    plan = MPress(job).build_plan()
+    candidates = _candidate_plans(plan)
+    options = ExecOptions(strict=False, prefetch_lead=2)
+
+    start = time.perf_counter()
+    lowering = Lowering(job, options)
+    full_best = min(
+        Interpreter(lowering.lower(candidate)).run().minibatch_time
+        for candidate in candidates
+    )
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    profile = Profiler(job).run()
+    cost_model = CostModel(job, plan.device_map, profile.intervals)
+
+    def price(candidate) -> float:
+        return sum(
+            cost_model.extra_overhead(entry.cls, entry.action.value)
+            for entry in candidate.entries.values()
+        )
+
+    lowering = Lowering(job, options)
+    simulator = IncrementalSimulator()
+    frontier = sorted(candidates, key=price)[:FRONTIER]
+    fast_best = min(
+        simulator.run(lowering.lower(candidate)).minibatch_time
+        for candidate in frontier
+    )
+    fast_seconds = time.perf_counter() - start
+
+    n = len(candidates)
+    return {
+        "preset": preset,
+        "n_candidates": n,
+        "frontier": FRONTIER,
+        "full_seconds": round(full_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "full_plans_per_second": round(n / full_seconds, 2),
+        "fast_plans_per_second": round(n / fast_seconds, 2),
+        "speedup": round(full_seconds / fast_seconds, 2),
+        "full_best_minibatch_time": full_best,
+        "fast_best_minibatch_time": fast_best,
+    }
+
+
+def _format(row: dict) -> str:
+    return (
+        f"{row['preset']}: {row['n_candidates']} candidates  "
+        f"full {row['full_plans_per_second']} plans/s  "
+        f"coarse2fine {row['fast_plans_per_second']} plans/s  "
+        f"speedup {row['speedup']}x"
+    )
+
+
+@pytest.mark.benchmark(group="fastpath")
+def test_plans_per_second(once):
+    """Coarse-to-fine beats simulate-everything on the small preset."""
+    row = once(lambda: sweep("small"))
+    print()
+    print(_format(row))
+    assert row["speedup"] > 1.5
+    # The frontier winner can only be as good as the global winner.
+    assert row["fast_best_minibatch_time"] >= row["full_best_minibatch_time"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="all",
+                        choices=sorted(PRESETS) + ["all"])
+    parser.add_argument("--out", default=None,
+                        help="write results as JSON to this path")
+    parser.add_argument("--check", default=None,
+                        help="compare against a committed baseline JSON")
+    parser.add_argument("--gate", type=float, default=3.0,
+                        help="fail if fast plans/sec fell by more than this "
+                             "factor vs the baseline")
+    args = parser.parse_args(argv)
+
+    names = sorted(PRESETS) if args.preset == "all" else [args.preset]
+    rows = {}
+    for name in names:
+        rows[name] = sweep(name)
+        print(_format(rows[name]))
+
+    if args.out:
+        payload = {"benchmark": "plans_per_second", "presets": rows}
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)["presets"]
+        ok = True
+        for name, row in rows.items():
+            pinned = baseline.get(name)
+            if pinned is None:
+                print(f"{name}: no baseline entry, skipping")
+                continue
+            floor = pinned["fast_plans_per_second"] / args.gate
+            verdict = "ok" if row["fast_plans_per_second"] >= floor else "REGRESSED"
+            print(f"{name}: measured {row['fast_plans_per_second']} plans/s, "
+                  f"floor {floor:.2f} (baseline "
+                  f"{pinned['fast_plans_per_second']} / gate {args.gate}): "
+                  f"{verdict}")
+            if verdict != "ok":
+                ok = False
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -185,15 +185,18 @@ def _cmd_profile(args) -> int:
 
 def _cmd_plan(args) -> int:
     from repro.core.mpress import MPress
+    from repro.core.planner import PlannerConfig
     from repro.core.serialization import save_plan
 
     job = _build_job(args)
-    mpress = MPress(job)
+    mpress = MPress(job, PlannerConfig(search=args.search))
     plan = mpress.build_plan()
     report = mpress.planner_report
     print(plan.summary())
     print(f"feasible: {report.feasible}; emulated minibatch "
           f"{report.final_time:.2f}s after {report.refine_iterations} refinements")
+    print(f"search={args.search}: {report.n_full_sims} full simulations, "
+          f"{report.n_fast_path} candidates priced analytically")
     if args.out:
         save_plan(plan, args.out)
         print(f"plan written to {args.out}")
@@ -423,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
     plan = sub.add_parser("plan", help="build and save a memory-saving plan")
     add_job_args(plan)
     plan.add_argument("--out", default=None, metavar="PATH")
+    plan.add_argument(
+        "--search",
+        choices=("emulate", "coarse2fine"),
+        default="emulate",
+        help="refinement strategy: emulate every upgrade batch, or "
+             "price candidates analytically and simulate only the "
+             "frontier (docs/fastpath.md)",
+    )
     plan.set_defaults(func=_cmd_plan)
 
     zero = sub.add_parser("zero", help="evaluate a ZeRO baseline")

@@ -15,7 +15,7 @@ from repro.core.plan import Action, MemorySavingPlan
 from repro.core.rewriter import InstrumentedProgram
 from repro.job import TrainingJob
 from repro.sim.executor import SimulationResult
-from repro.sim.interpreter import Interpreter
+from repro.sim.incremental import IncrementalSimulator
 from repro.sim.ir import ExecOptions
 from repro.sim.lowering import Lowering
 
@@ -48,7 +48,11 @@ class Emulator:
     The plan-independent lowering skeleton (data-flow program, tensor
     classification) is built once at construction and shared across
     every :meth:`run` — the planner's tighten/refine loop only pays
-    for per-plan instruction emission and interpretation.
+    for per-plan instruction emission and interpretation.  Execution
+    goes through an :class:`~repro.sim.incremental.IncrementalSimulator`:
+    consecutive candidate programs from the shared lowering reuse the
+    engine state of their common prefix, and a candidate identical to
+    the previous one costs nothing (docs/fastpath.md).
     """
 
     def __init__(self, job: TrainingJob, prefetch_lead: int = 2):
@@ -56,11 +60,20 @@ class Emulator:
         self.prefetch_lead = prefetch_lead
         self.options = ExecOptions(strict=False, prefetch_lead=prefetch_lead)
         self._lowering = Lowering(job, self.options)
+        self._simulator = IncrementalSimulator()
         self.n_emulations = 0
+
+    @property
+    def n_incremental_resumes(self) -> int:
+        return self._simulator.n_resumed
+
+    @property
+    def n_memoized(self) -> int:
+        return self._simulator.n_memoized
 
     def run(self, plan: MemorySavingPlan) -> EmulationReport:
         self.n_emulations += 1
-        result = Interpreter(self._lowering.lower(plan)).run()
+        result = self._simulator.run(self._lowering.lower(plan))
         capacity = self.job.server.gpu_memory
         peaks = result.memory.peaks()
         overflowed = [dev for dev, peak in enumerate(peaks) if peak > capacity]

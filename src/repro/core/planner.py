@@ -62,6 +62,11 @@ class PlannerConfig:
     refine_batch: int = 4
     improvement_eps: float = 0.003
     prefetch_lead: int = 2
+    # "emulate" measures every tentative upgrade batch; "coarse2fine"
+    # prices a wider candidate pool with the analytic cost model first
+    # and only lowers+simulates the predicted-profitable frontier
+    # (docs/fastpath.md).
+    search: str = "emulate"
 
 
 @dataclass
@@ -80,6 +85,12 @@ class PlannerReport:
     # Candidate plans emulated during the search; all of them share
     # one lowering skeleton (the Emulator lowers per plan only).
     n_emulations: int = 0
+    # Coarse-to-fine accounting: candidates priced by the analytic
+    # cost model instead of simulated, and full simulations actually
+    # spent (== n_emulations; kept separate so the ratio reads off
+    # the report directly).
+    n_fast_path: int = 0
+    n_full_sims: int = 0
     # Fault-aware planning (set when a fault profile was supplied).
     fault_profile: Optional[FaultSchedule] = None
     avoided_importers: List[int] = field(default_factory=list)
@@ -99,6 +110,8 @@ class Planner:
     ):
         self.job = job
         self.config = config
+        if config.search not in ("emulate", "coarse2fine"):
+            raise ValueError(f"unknown planner search {config.search!r}")
         if faults is not None and faults.is_empty:
             faults = None
         self.faults = faults
@@ -187,6 +200,7 @@ class Planner:
             )
         report.final_time = report.emulation_times[-1]
         report.n_emulations = emulator.n_emulations
+        report.n_full_sims = emulator.n_emulations
         return plan, report
 
     # -- device mapping ---------------------------------------------------
@@ -760,6 +774,16 @@ class Planner:
             if not candidates:
                 break
             budgets = self._global_headroom(best_peaks)
+            if config.search == "coarse2fine":
+                candidates = self._coarse_frontier(
+                    candidates, classes_by_key, cost_model, budgets,
+                    blacklist, report,
+                )
+                if not candidates:
+                    # The analytic model predicts no profitable
+                    # upgrade this round — the whole batch's lowering
+                    # and simulation is skipped.
+                    continue
             tentative = dict(assignments)
             upgraded: List[tuple] = []
             for key, _extra in candidates[: config.refine_batch]:
@@ -787,6 +811,42 @@ class Planner:
             else:
                 blacklist.update(upgraded)
         return plan, assignments
+
+    def _coarse_frontier(
+        self,
+        candidates: List[Tuple[tuple, float]],
+        classes_by_key: Dict[tuple, TensorClass],
+        cost_model: CostModel,
+        budgets: Dict[int, int],
+        blacklist: set,
+        report: PlannerReport,
+    ) -> List[Tuple[tuple, float]]:
+        """Coarse pass of the coarse-to-fine search (docs/fastpath.md).
+
+        A wide pool of upgrade candidates is *priced* with the
+        analytic collective/cost model — predicted gain is the
+        candidate's current overhead minus its D2D overhead on a
+        tentative stripe — and only the profitable frontier survives
+        to be lowered and simulated.  Claims here run against a copy
+        of the importer budgets; the fine pass re-claims for real.
+        """
+        pool = candidates[: self.config.refine_batch * 4]
+        priced: List[Tuple[float, tuple, float]] = []
+        for key, extra in pool:
+            cls = classes_by_key[key]
+            report.n_fast_path += 1
+            stripe = self._claim_d2d(cls, cost_model, dict(budgets))
+            if stripe is None:
+                blacklist.add(key)
+                continue
+            d2d_extra = cost_model.costs_for(cls, stripe).d2d_swap_extra or 0.0
+            gain = extra - d2d_extra
+            if gain <= 0:
+                blacklist.add(key)
+                continue
+            priced.append((gain, key, extra))
+        priced.sort(key=lambda entry: -entry[0])
+        return [(key, extra) for _gain, key, extra in priced]
 
     def _refine_candidates(
         self,

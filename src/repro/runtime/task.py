@@ -117,6 +117,12 @@ class SimTask:
         payloads — and therefore the content addresses — of every
         pre-hybrid task are byte-identical to what they always were
         and shared cache directories stay warm.
+
+        Execution strategy is deliberately absent: the fast-path tape
+        interpreter and the reference interpreter produce bit-identical
+        records (docs/fastpath.md, tests/test_fastpath_equivalence.py),
+        so fast-path results share cache entries with full simulations
+        and a cache warmed by either path serves both.
         """
         payload = {
             "job": canonical_payload(self.job),

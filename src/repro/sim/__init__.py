@@ -40,6 +40,19 @@ _LAZY = {
     "SimulationResult": ("repro.sim.interpreter", "SimulationResult"),
     "PipelineExecutor": ("repro.sim.executor", "PipelineExecutor"),
     "simulate": ("repro.sim.executor", "simulate"),
+    # Fast path: compiled tape replay, dispatch, and incremental
+    # re-simulation across planner candidates (docs/fastpath.md).
+    "FastInterpreter": ("repro.sim.fastpath", "FastInterpreter"),
+    "ProgramTape": ("repro.sim.fastpath", "ProgramTape"),
+    "run_program": ("repro.sim.fastpath", "run_program"),
+    "wants_fast_path": ("repro.sim.fastpath", "wants_fast_path"),
+    "fast_path_runs": ("repro.sim.fastpath", "fast_path_runs"),
+    "reference_runs": ("repro.sim.fastpath", "reference_runs"),
+    "reset_run_counters": ("repro.sim.fastpath", "reset_run_counters"),
+    "ProgramDiff": ("repro.sim.incremental", "ProgramDiff"),
+    "diff_programs": ("repro.sim.incremental", "diff_programs"),
+    "splice_programs": ("repro.sim.incremental", "splice_programs"),
+    "IncrementalSimulator": ("repro.sim.incremental", "IncrementalSimulator"),
     # Collective lowering lives in repro.collectives but runs on this
     # substrate; re-exported here as part of the executor facade.
     "simulate_collective": ("repro.collectives.lowering", "simulate_collective"),
@@ -88,6 +101,17 @@ __all__ = [
     "SimulationResult",
     "PipelineExecutor",
     "simulate",
+    "FastInterpreter",
+    "ProgramTape",
+    "run_program",
+    "wants_fast_path",
+    "fast_path_runs",
+    "reference_runs",
+    "reset_run_counters",
+    "ProgramDiff",
+    "diff_programs",
+    "splice_programs",
+    "IncrementalSimulator",
     "simulate_collective",
     "lower_collective",
 ]

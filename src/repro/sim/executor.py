@@ -24,7 +24,8 @@ from typing import Optional
 from repro.core.plan import MemorySavingPlan
 from repro.faults.spec import FaultSchedule
 from repro.job import TrainingJob
-from repro.sim.interpreter import Interpreter, SimulationResult
+from repro.sim.fastpath import run_program
+from repro.sim.interpreter import SimulationResult
 from repro.sim.ir import ExecOptions
 from repro.sim.lowering import Lowering
 
@@ -48,7 +49,10 @@ class PipelineExecutor:
         self.plan = self.program.plan
 
     def run(self) -> SimulationResult:
-        return Interpreter(self.program).run()
+        # Unobserved fault-free runs take the compiled fast path; runs
+        # with a fault schedule replay on the reference interpreter.
+        # Both produce bit-identical results (docs/fastpath.md).
+        return run_program(self.program)
 
 
 def simulate(

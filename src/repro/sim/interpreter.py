@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, SimulationError
 from repro.faults.report import ResilienceReport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -138,7 +138,9 @@ class Interpreter:
 
     def run(self) -> SimulationResult:
         if self._ran:
-            raise RuntimeError("Interpreter is single-use; build a new one per run")
+            raise SimulationError(
+                "Interpreter is single-use; build a new one per run"
+            )
         self._ran = True
         try:
             self._apply_static()

@@ -116,7 +116,7 @@ class TestSkeletonReuse:
         program = Lowering(job, ExecOptions()).lower(empty_plan(job.n_stages))
         interp = Interpreter(program)
         interp.run()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SimulationError, match="single-use"):
             interp.run()
 
 
