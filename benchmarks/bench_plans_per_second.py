@@ -81,7 +81,21 @@ def _dgx1_job():
     return pipedream_job(bert_variant(0.64), dgx1_server(), n_minibatches=6)
 
 
-PRESETS = {"small": _small_job, "dgx1": _dgx1_job}
+def _cluster_job():
+    """One TP-sharded pipeline chain of a 2-server TP x DP x PP run —
+    exactly what ``repro plan --nodes 2 --tp 2`` plans."""
+    from repro.hardware.cluster import dgx1_cluster
+    from repro.job import dapple_job
+    from repro.models import gpt_variant
+    from repro.parallel.cluster import ClusterConfig, plan_chain_job
+
+    cluster = dgx1_cluster(2)
+    job = dapple_job(gpt_variant(15.4), cluster.servers[0], n_minibatches=2)
+    chain, _ = plan_chain_job(job, cluster, ClusterConfig(tp=2, dp=2, pp=4))
+    return chain
+
+
+PRESETS = {"small": _small_job, "dgx1": _dgx1_job, "cluster": _cluster_job}
 
 
 def _candidate_plans(plan, limit: int = MAX_CANDIDATES):

@@ -1,0 +1,152 @@
+"""Cluster-scaling sweeps: throughput across TP x DP x PP shapes.
+
+For each (tp, dp, pp) shape on a grid, run the 3D-parallel job over a
+multi-server cluster through the sweep runtime (each cell a
+content-addressed :class:`~repro.runtime.task.SimTask` with a
+``ClusterConfig``), and record throughput, both exposed
+synchronisation tails (TP collectives and DP gradient buckets), and
+per-GPU peak memory.  One row per shape, CSV export included,
+following :mod:`repro.analysis.dp_scaling`.
+
+The job spec is per replica (weak scaling), so samples/s scales with
+``dp`` at fixed shape quality; what the sweep surfaces is the *shape*
+trade-off — deeper pipelines lower per-GPU memory but worsen the
+bubble, wider TP buys memory at the price of per-microbatch
+all-reduces, and DP across the fabric pays the NIC ramp.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.cluster import Cluster
+from repro.job import TrainingJob
+from repro.parallel.cluster import ClusterConfig
+
+
+@dataclass(frozen=True)
+class ClusterScalingCell:
+    """One shape measurement of a cluster scaling sweep."""
+
+    tp: int
+    dp: int
+    pp: int
+    ok: bool
+    samples_per_second: float
+    tflops: float
+    minibatch_time: float
+    exposed_tp_sync: float
+    exposed_allreduce: float
+    peak_gib: float
+    placement_mode: str
+
+
+FIELDS = ["tp", "dp", "pp", "ok", "samples_per_second", "tflops",
+          "minibatch_time", "exposed_tp_sync", "exposed_allreduce",
+          "peak_gib", "placement_mode"]
+
+DEFAULT_SHAPES = ((1, 2, 4), (2, 2, 2), (2, 4, 2), (4, 2, 2))
+
+
+def cluster_scaling_tasks(
+    job: TrainingJob,
+    cluster: Cluster,
+    shapes: Sequence[Tuple[int, int, int]] = DEFAULT_SHAPES,
+    system: str = "mpress",
+    sequence_parallel: bool = False,
+    algorithm: str = "auto",
+    bucket_bytes: Optional[int] = None,
+) -> List["SimTask"]:
+    """The sweep's task list (one content-addressed cell per shape)."""
+    from repro.runtime.task import SimTask
+
+    tasks = []
+    for tp, dp, pp in shapes:
+        kwargs = {"tp": tp, "dp": dp, "pp": pp, "algorithm": algorithm,
+                  "sequence_parallel": sequence_parallel}
+        if bucket_bytes is not None:
+            kwargs["bucket_bytes"] = bucket_bytes
+        tasks.append(SimTask(
+            label=(f"cluster-scaling/{system}/{cluster.name}"
+                   f"/tp={tp},dp={dp},pp={pp}"),
+            job=job,
+            system=system,
+            cluster=cluster,
+            cluster_config=ClusterConfig(**kwargs),
+        ))
+    return tasks
+
+
+def cluster_scaling_sweep(
+    job: TrainingJob,
+    cluster: Cluster,
+    shapes: Sequence[Tuple[int, int, int]] = DEFAULT_SHAPES,
+    system: str = "mpress",
+    sequence_parallel: bool = False,
+    algorithm: str = "auto",
+    bucket_bytes: Optional[int] = None,
+    runtime: Optional["SweepRuntime"] = None,
+) -> List[ClusterScalingCell]:
+    """Throughput vs. parallelism shape on one cluster.
+
+    Cells run through ``runtime`` (default serial/uncached) as
+    independent cluster tasks, so a warmed cache resolves the whole
+    grid without a single simulation.
+    """
+    from repro.runtime.pool import run_tasks
+    from repro.runtime.task import peak_gib
+
+    tasks = cluster_scaling_tasks(job, cluster, shapes, system,
+                                  sequence_parallel, algorithm, bucket_bytes)
+    records = run_tasks(tasks, runtime).records()
+
+    cells: List[ClusterScalingCell] = []
+    for (tp, dp, pp), record in zip(shapes, records):
+        ok = record is not None and bool(record["ok"])
+        info = record.get("cluster") if record else None
+        cells.append(ClusterScalingCell(
+            tp=tp,
+            dp=dp,
+            pp=pp,
+            ok=ok,
+            samples_per_second=record["samples_per_second"] if ok else 0.0,
+            tflops=record["tflops"] if ok else 0.0,
+            minibatch_time=record["minibatch_time"] if ok else 0.0,
+            exposed_tp_sync=info["exposed_tp_sync"] if ok and info else 0.0,
+            exposed_allreduce=(
+                info["exposed_allreduce"] if ok and info else 0.0
+            ),
+            peak_gib=peak_gib(record) if ok else 0.0,
+            placement_mode=info["placement_mode"] if ok and info else "",
+        ))
+    return cells
+
+
+def to_csv(cells: Sequence[ClusterScalingCell]) -> str:
+    """Render cluster-scaling cells as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=FIELDS)
+    writer.writeheader()
+    for cell in cells:
+        writer.writerow({
+            "tp": cell.tp,
+            "dp": cell.dp,
+            "pp": cell.pp,
+            "ok": int(cell.ok),
+            "samples_per_second": f"{cell.samples_per_second:.3f}",
+            "tflops": f"{cell.tflops:.3f}",
+            "minibatch_time": f"{cell.minibatch_time:.6f}",
+            "exposed_tp_sync": f"{cell.exposed_tp_sync:.6f}",
+            "exposed_allreduce": f"{cell.exposed_allreduce:.6f}",
+            "peak_gib": f"{cell.peak_gib:.3f}",
+            "placement_mode": cell.placement_mode,
+        })
+    return buffer.getvalue()
+
+
+def save_csv(cells: Sequence[ClusterScalingCell], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_csv(cells))

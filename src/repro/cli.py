@@ -52,6 +52,38 @@ def _build_server(name: str) -> Server:
     return builder()
 
 
+def _build_cluster(args, force: bool = False):
+    """``--nodes``/``--fabric`` -> a Cluster, or None for one box.
+
+    ``force`` builds a single-server cluster even at ``--nodes 1`` so
+    TP-only runs go through the cluster path.
+    """
+    from repro.hardware.cluster import make_cluster
+    from repro.hardware.links import FABRICS
+
+    nodes = getattr(args, "nodes", 1) or 1
+    if nodes <= 1 and not force:
+        return None
+    fabric_name = getattr(args, "fabric", "ib-edr")
+    fabric = FABRICS.get(fabric_name)
+    if fabric is None:
+        raise ConfigurationError(
+            f"unknown fabric {fabric_name!r}; options: {sorted(FABRICS)}")
+    builder = SERVERS.get(args.server)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown server {args.server!r}; options: {sorted(SERVERS)}")
+    return make_cluster(builder, nodes, name=f"{nodes}x-{args.server}",
+                        fabric=fabric)
+
+
+def _require_single_node(args, command: str) -> None:
+    if (getattr(args, "nodes", 1) or 1) > 1:
+        raise ConfigurationError(
+            f"'{command}' simulates one server; use 'hybrid --nodes N' "
+            f"or 'sweep' for cluster runs")
+
+
 def _build_job(args) -> TrainingJob:
     if getattr(args, "spec", None):
         from repro.jobspec import load_job
@@ -109,6 +141,7 @@ def _cmd_run(args) -> int:
     from repro.sim.chrome_trace import save_chrome_trace
     from repro.sim.executor import simulate
 
+    _require_single_node(args, "run")
     job = _build_job(args)
     custom_knobs = getattr(args, "no_striping", False) or (
         getattr(args, "mapping", "auto") != "auto"
@@ -170,6 +203,7 @@ def _cmd_run(args) -> int:
 def _cmd_profile(args) -> int:
     from repro.core.profiler import Profiler
 
+    _require_single_node(args, "profile")
     job = _build_job(args)
     profile = Profiler(job).run()
     print(f"{job.model.config.name} on {job.server.name} ({job.system}):")
@@ -189,6 +223,17 @@ def _cmd_plan(args) -> int:
     from repro.core.serialization import save_plan
 
     job = _build_job(args)
+    if (getattr(args, "nodes", 1) or 1) > 1 or args.tp > 1:
+        from repro.parallel.cluster import ClusterConfig, plan_chain_job
+
+        cluster = _build_cluster(args, force=True)
+        config = ClusterConfig(tp=args.tp, dp=args.dp, pp=args.pp,
+                               sequence_parallel=args.sp)
+        job, placement = plan_chain_job(job, cluster, config)
+        chain = ",".join(str(d) for d in placement.chain(0, 0))
+        print(f"cluster {cluster.name}: tp={placement.tp} dp={placement.dp} "
+              f"pp={placement.pp} ({placement.mode} placement); planning "
+              f"chain [{chain}]")
     mpress = MPress(job, PlannerConfig(search=args.search))
     plan = mpress.build_plan()
     report = mpress.planner_report
@@ -226,11 +271,82 @@ def _cmd_zero(args) -> int:
     return 0
 
 
+def _cmd_hybrid_cluster(args) -> int:
+    """3D path: TP x DP x PP over a (possibly single-server) cluster."""
+    from repro.analysis.reporting import format_table
+    from repro.parallel import ClusterConfig, run_cluster
+    from repro.units import MiB
+
+    job = _build_job(args)
+    cluster = _build_cluster(args, force=True)
+    config = ClusterConfig(
+        tp=args.tp,
+        dp=args.dp,
+        pp=args.pp,
+        sequence_parallel=args.sp,
+        algorithm=args.algorithm,
+        bucket_bytes=int(args.bucket_mib * MiB),
+        overlap=not args.no_overlap,
+        collective_mode=args.collective,
+        placement_mode=args.cluster_placement,
+    )
+    result = run_cluster(job, cluster, config, system=args.system)
+    status = "ok" if result.ok else "OUT OF MEMORY"
+    print(f"{job.model.config.name} / tp={result.tp} dp={result.dp} "
+          f"pp={result.pp} {args.system} on {cluster.name}: {status}")
+    chains = " | ".join(
+        ";".join(",".join(str(d) for d in chain) for chain in replica)
+        for replica in result.placement.chains)
+    print(f"  placement ({result.placement.mode}): {chains}")
+    if not result.ok:
+        print(f"  {result.oom}")
+        return 1
+    print(f"  throughput: {result.tflops:.1f} TFLOPS "
+          f"({result.samples_per_second:.1f} samples/s, "
+          f"{result.dp} x {job.samples_per_minibatch} samples/minibatch)")
+    print(f"  minibatch: {result.minibatch_time * 1e3:.2f} ms "
+          f"(chain {result.chain_minibatch_time * 1e3:.2f} ms + "
+          f"TP sync {result.exposed_tp_sync * 1e3:.2f} ms + "
+          f"exposed all-reduce {result.exposed_allreduce * 1e3:.2f} ms)")
+    if result.tp_sync:
+        rows = [
+            [str(sync.stage), str(sync.n_groups),
+             f"{sync.microbatch_seconds * 1e3:.3f}",
+             f"{sync.minibatch_seconds * 1e3:.3f}"]
+            for sync in result.tp_sync
+        ]
+        print(format_table(
+            ["stage", "groups", "microbatch ms", "minibatch ms"],
+            rows, title="tensor-parallel collectives"))
+    if result.stage_allreduce:
+        rows = [
+            [
+                str(sync.stage),
+                ",".join(str(d) for d in sync.devices),
+                sync.algorithm,
+                fmt_bytes(sync.grad_bytes),
+                str(sync.n_buckets),
+                f"{sync.allreduce_seconds * 1e3:.3f}",
+                f"{sync.exposed_seconds * 1e3:.3f}",
+            ]
+            for sync in result.stage_allreduce
+        ]
+        print(format_table(
+            ["stage", "devices", "algorithm", "grads", "buckets",
+             "all-reduce ms", "exposed ms"],
+            rows, title="gradient synchronisation"))
+    peaks = result.peak_memory_per_gpu()
+    print(f"  per-GPU peaks: {' '.join(fmt_bytes(p) for p in peaks)}")
+    return 0
+
+
 def _cmd_hybrid(args) -> int:
     from repro.analysis.reporting import format_table
     from repro.parallel import HybridConfig, run_hybrid
     from repro.units import MiB
 
+    if (getattr(args, "nodes", 1) or 1) > 1 or args.tp > 1:
+        return _cmd_hybrid_cluster(args)
     job = _build_job(args)
     config = HybridConfig(
         dp=args.dp,
@@ -338,8 +454,20 @@ def _cmd_sweep(args) -> int:
             spec = spec.strip()
             pipeline = args.pipeline or _default_pipeline(spec)
             jobs[spec] = builders[pipeline](_parse_model(spec), server)
-        systems = [s.strip() for s in args.systems.split(",")]
-        tasks = sweep_tasks(jobs, systems)
+        if (getattr(args, "nodes", 1) or 1) > 1:
+            # Cluster sweep: the TP x DP x PP shape grid per model.
+            from repro.analysis.cluster_scaling import cluster_scaling_tasks
+
+            cluster = _build_cluster(args)
+            systems = [s.strip() for s in args.systems.split(",")]
+            tasks = []
+            for job in jobs.values():
+                for system in systems:
+                    tasks.extend(cluster_scaling_tasks(job, cluster,
+                                                       system=system))
+        else:
+            systems = [s.strip() for s in args.systems.split(",")]
+            tasks = sweep_tasks(jobs, systems)
 
     runtime = _sweep_runtime(args)
     report = runtime.run(tasks)
@@ -400,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pipeline", default=None,
                        choices=("pipedream", "dapple", "gpipe"))
         p.add_argument("--microbatch", type=int, default=None)
+        p.add_argument("--nodes", type=int, default=1, metavar="N",
+                       help="server count (N>1 builds a cluster over --fabric)")
+        p.add_argument("--fabric", default="ib-edr",
+                       choices=("ib-edr", "ib-hdr", "eth-100g"),
+                       help="inter-node link when --nodes > 1")
         p.add_argument("--spec", default=None, metavar="PATH",
                        help="JSON job spec (overrides the flags above)")
 
@@ -425,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser("plan", help="build and save a memory-saving plan")
     add_job_args(plan)
+    plan.add_argument("--tp", type=int, default=1,
+                      help="tensor-parallel degree (plan one sharded chain)")
+    plan.add_argument("--dp", type=int, default=1,
+                      help="data-parallel degree (placement context)")
+    plan.add_argument("--pp", type=int, default=0,
+                      help="pipeline depth (0 = fill the replica block)")
+    plan.add_argument("--sp", action="store_true",
+                      help="sequence parallelism (with --tp)")
     plan.add_argument("--out", default=None, metavar="PATH")
     plan.add_argument(
         "--search",
@@ -457,6 +598,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-replica memory-saving system")
     hybrid.add_argument("--dp", type=int, default=2,
                         help="data-parallel degree (replica count)")
+    hybrid.add_argument("--tp", type=int, default=1,
+                        help="tensor-parallel degree (>1 runs the 3D "
+                             "cluster path, see docs/cluster.md)")
+    hybrid.add_argument("--pp", type=int, default=0,
+                        help="pipeline depth on the cluster path "
+                             "(0 = fill each replica block)")
+    hybrid.add_argument("--sp", action="store_true",
+                        help="sequence parallelism (with --tp)")
+    hybrid.add_argument("--cluster-placement", default="auto",
+                        choices=("auto", "packed", "spread"),
+                        help="replica packing across servers (cluster path)")
     hybrid.add_argument("--algorithm", default="auto",
                         choices=("auto", "ring", "tree", "hierarchical"),
                         help="gradient all-reduce algorithm")
@@ -486,10 +638,16 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a grid of simulations (parallel, cached)")
     sweep.add_argument("--preset", default=None,
                        help="a named grid: fig7, fig8-dgx1, fig8-dgx2, "
-                            "fig9, hybrid-dgx1")
+                            "fig9, hybrid-dgx1, cluster-2xdgx1")
     sweep.add_argument("--models", default=None,
                        help="comma list, e.g. bert-0.64,gpt-5.3")
     sweep.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+    sweep.add_argument("--nodes", type=int, default=1, metavar="N",
+                       help="with --models: sweep TP x DP x PP shapes over "
+                            "an N-server cluster")
+    sweep.add_argument("--fabric", default="ib-edr",
+                       choices=("ib-edr", "ib-hdr", "eth-100g"),
+                       help="inter-node link when --nodes > 1")
     sweep.add_argument("--pipeline", default=None,
                        choices=("pipedream", "dapple", "gpipe"))
     sweep.add_argument("--systems", default="none,recomputation,mpress",

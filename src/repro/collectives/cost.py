@@ -28,13 +28,15 @@ def pair_transfer_time(topology: Topology, src: int, dst: int, size_bytes: int,
                        pcie: LinkSpec = PCIE3_X16) -> float:
     """Seconds to move ``size_bytes`` between one device pair.
 
-    NVLink pairs stripe across their lanes; pairs without a direct
-    link pay the staged host round-trip (up then down), mirroring the
-    pipeline lowering's PCIe fallback.
+    Linked pairs stripe across their lanes on the tier's own spec —
+    NVLink within a box, the fabric ramp across boxes (via
+    ``topology.link_for``); pairs without a direct link pay the staged
+    host round-trip (up then down), mirroring the pipeline lowering's
+    PCIe fallback.
     """
     lanes = topology.lanes(src, dst)
     if lanes > 0:
-        return transfer_time(size_bytes, topology.nvlink, lanes=lanes)
+        return transfer_time(size_bytes, topology.link_for(src, dst), lanes=lanes)
     return 2.0 * transfer_time(size_bytes, pcie, lanes=1)
 
 

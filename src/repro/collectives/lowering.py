@@ -89,6 +89,7 @@ def lower_collective(server: Server, schedule: CollectiveSchedule,
             record = ((Record("coll", step.src, round_index),)
                       if options.record_trace else ())
             if lanes > 0:
+                link = topology.link_for(step.src, step.dst)
                 channels = topology.lane_channels(step.src, step.dst)[:lanes]
                 share = max(1, -(-step.size // lanes))
                 for lane_index, channel in enumerate(channels):
@@ -97,7 +98,7 @@ def lower_collective(server: Server, schedule: CollectiveSchedule,
                         name=(f"coll.{schedule.op}.r{round_index}"
                               f".{step.src}->{step.dst}.l{lane_index}"),
                         stream=channel,
-                        duration=transfer_time(share, topology.nvlink, lanes=1),
+                        duration=transfer_time(share, link, lanes=1),
                         device=step.src,
                         deps=gate,
                         done=record if lane_index == 0 else (),

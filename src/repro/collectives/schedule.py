@@ -223,13 +223,7 @@ _RING_CACHE: Dict[Tuple, Tuple[int, ...]] = {}
 
 def _topology_key(topology: Topology) -> Tuple:
     """Hashable identity of a topology (``adjacency`` is a dict)."""
-    if topology.kind == "switched":
-        return ("switched", topology.n_gpus, topology.lane_budget)
-    edges = tuple(sorted(
-        (tuple(sorted(pair)), count)
-        for pair, count in topology.adjacency.items()
-    ))
-    return ("direct", topology.n_gpus, topology.lane_budget, edges)
+    return topology.topology_key()
 
 
 def _cycle_score(topology: Topology, cycle: Tuple[int, ...]) -> Tuple[int, int]:
@@ -252,6 +246,8 @@ def ring_order(topology: Topology, group: Sequence[int]) -> Tuple[int, ...]:
     """
     group = _require_group(group)
     members = tuple(sorted(group))
+    if topology.kind == "cluster":
+        return _cluster_ring_order(topology, members)
     if topology.kind == "switched" or len(members) <= 3:
         return members
     key = (_topology_key(topology), members)
@@ -273,6 +269,65 @@ def ring_order(topology: Topology, group: Sequence[int]) -> Tuple[int, ...]:
     return best_cycle
 
 
+def _cluster_ring_order(topology, members: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Server-contiguous cycle through a cluster-spanning group.
+
+    A permutation search over 16+ devices is intractable and pointless:
+    every cross-server hop costs the same NIC lanes, so the best cycle
+    visits each server's members consecutively (crossing the fabric
+    exactly once per server) with each server segment ordered by its
+    own local ring search.  Memoised like the single-box search.
+    """
+    key = (_topology_key(topology), members)
+    cached = _RING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    by_server: Dict[int, List[int]] = {}
+    for device in members:
+        by_server.setdefault(topology.server_of(device), []).append(device)
+    offsets = topology.server_offsets()
+    cycle: List[int] = []
+    for server in sorted(by_server):
+        subset = sorted(by_server[server])
+        if len(subset) < 2:
+            cycle.extend(subset)
+            continue
+        base = offsets[server]
+        local = ring_order(topology.servers[server],
+                           [device - base for device in subset])
+        cycle.extend(device + base for device in local)
+    result = tuple(cycle)
+    _RING_CACHE[key] = result
+    return result
+
+
+def _cluster_islands(topology, members: List[int]) -> Tuple[Tuple[int, ...], ...]:
+    """Island partition of a cluster group: islands are servers.
+
+    A group confined to one box delegates to that box's own island
+    discovery (so DGX-1 quads still surface), remapped to global ids.
+    A cluster-spanning group partitions by server — the NVLink/fabric
+    bandwidth cliff dominates any intra-box asymmetry — accepted under
+    the same rule as below (>= 2 equal-size islands of >= 2 members).
+    """
+    by_server: Dict[int, List[int]] = {}
+    for device in members:
+        by_server.setdefault(topology.server_of(device), []).append(device)
+    offsets = topology.server_offsets()
+    if len(by_server) == 1:
+        server = next(iter(by_server))
+        base = offsets[server]
+        local = islands(topology.servers[server],
+                        [device - base for device in by_server[server]])
+        return tuple(tuple(device + base for device in part) for part in local)
+    parts = tuple(tuple(sorted(by_server[server]))
+                  for server in sorted(by_server))
+    sizes = {len(part) for part in parts}
+    if len(parts) >= 2 and len(sizes) == 1 and sizes.pop() >= 2:
+        return parts
+    return (tuple(members),)
+
+
 def islands(topology: Topology, group: Sequence[int]) -> Tuple[Tuple[int, ...], ...]:
     """Partition ``group`` into NVLink islands for hierarchical collectives.
 
@@ -282,10 +337,13 @@ def islands(topology: Topology, group: Sequence[int]) -> Tuple[Tuple[int, ...], 
     accepted only if it has >= 2 equal-size islands of >= 2 members
     each; otherwise an even-size group is split into sorted halves
     (the only sensible partition on a symmetric crossbar), and
-    anything else stays a single island.
+    anything else stays a single island.  Cluster topologies partition
+    by server first (see :func:`_cluster_islands`).
     """
     group = _require_group(group)
     members = sorted(group)
+    if topology.kind == "cluster":
+        return _cluster_islands(topology, members)
     if topology.kind == "direct":
         parent = {device: device for device in members}
 

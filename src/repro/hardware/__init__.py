@@ -8,10 +8,26 @@ evaluates on.
 """
 
 from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec, A100, V100
-from repro.hardware.links import LinkType, LinkSpec, NVLINK2, PCIE3_X16
+from repro.hardware.links import (
+    LinkType,
+    LinkSpec,
+    NVLINK2,
+    PCIE3_X16,
+    IB_EDR,
+    IB_HDR,
+    ETH_100G,
+    FABRICS,
+)
 from repro.hardware.bandwidth import effective_bandwidth, transfer_time
 from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
 from repro.hardware.server import Server, dgx1_server, dgx2_server
+from repro.hardware.cluster import (
+    Cluster,
+    ClusterTopology,
+    make_cluster,
+    dgx1_cluster,
+    dgx2_cluster,
+)
 
 __all__ = [
     "GPUSpec",
@@ -31,4 +47,13 @@ __all__ = [
     "Server",
     "dgx1_server",
     "dgx2_server",
+    "IB_EDR",
+    "IB_HDR",
+    "ETH_100G",
+    "FABRICS",
+    "Cluster",
+    "ClusterTopology",
+    "make_cluster",
+    "dgx1_cluster",
+    "dgx2_cluster",
 ]

@@ -19,11 +19,12 @@ from repro.units import GBps, US
 
 
 class LinkType(enum.Enum):
-    """Kinds of point-to-point lanes in a server."""
+    """Kinds of point-to-point lanes in a server or cluster."""
 
     NVLINK = "nvlink"
     PCIE = "pcie"
     NVME = "nvme"
+    FABRIC = "fabric"
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,42 @@ PCIE3_X16 = LinkSpec(
     efficiency=0.745,
     latency=25 * US,
 )
+
+
+# Inter-node fabrics.  Peak bandwidth is per NIC lane, unidirectional;
+# the per-transfer setup latency is dominated by the network round
+# trip rather than DMA engine start-up, so fabrics ramp to their
+# sustained bandwidth at much larger message sizes than NVLink —
+# which is exactly why hierarchical collectives keep bulk traffic
+# inside the server and cross the fabric once per chunk position.
+
+# InfiniBand EDR, 100 Gb/s per port (~12.5 GB/s raw).
+IB_EDR = LinkSpec(
+    link_type=LinkType.FABRIC,
+    peak_bandwidth=12.5 * GBps,
+    efficiency=0.92,
+    latency=5 * US,
+)
+
+# InfiniBand HDR, 200 Gb/s per port (~25 GB/s raw): the p4d/DGX-A100
+# generation fabric.
+IB_HDR = LinkSpec(
+    link_type=LinkType.FABRIC,
+    peak_bandwidth=25 * GBps,
+    efficiency=0.92,
+    latency=5 * US,
+)
+
+# 100 GbE with RoCE-style transport: same raw rate as EDR but lower
+# sustained efficiency and a far higher per-message setup cost.
+ETH_100G = LinkSpec(
+    link_type=LinkType.FABRIC,
+    peak_bandwidth=12.5 * GBps,
+    efficiency=0.85,
+    latency=30 * US,
+)
+
+FABRICS = {"ib-edr": IB_EDR, "ib-hdr": IB_HDR, "eth-100g": ETH_100G}
 
 
 def nvme_link(read_bandwidth: float, latency: float = 80 * US) -> LinkSpec:

@@ -46,8 +46,11 @@ class Topology:
     adjacency: Dict[FrozenSet[int], int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.n_gpus < 2:
-            raise TopologyError("a topology needs at least two GPUs")
+        # Degenerate single-GPU topologies are valid: a TP group of
+        # one or a single-GPU ``sub_server`` carve-out still needs a
+        # representable interconnect (with no lanes to anywhere).
+        if self.n_gpus < 1:
+            raise TopologyError("a topology needs at least one GPU")
         if self.kind not in ("direct", "switched"):
             raise TopologyError(f"unknown topology kind {self.kind!r}")
         if self.kind == "direct":
@@ -90,6 +93,17 @@ class Topology:
             return self.lane_budget
         return self.adjacency.get(frozenset((src, dst)), 0)
 
+    def link_for(self, src: int, dst: int) -> LinkSpec:
+        """The lane spec a src->dst transfer runs on.
+
+        Single-server topologies have exactly one intra-box lane type
+        (NVLink); tiered cluster topologies override this to return
+        the fabric spec for cross-server pairs.
+        """
+        self._check_gpu(src)
+        self._check_gpu(dst)
+        return self.nvlink
+
     def neighbors(self, gpu: int) -> List[int]:
         """GPUs directly reachable from ``gpu`` over NVLink."""
         self._check_gpu(gpu)
@@ -129,6 +143,16 @@ class Topology:
                 keys.append(("lane", a, b, k))
                 keys.append(("lane", b, a, k))
         return keys
+
+    def topology_key(self) -> Tuple:
+        """Hashable identity (``adjacency`` is a dict, so not hashable)."""
+        if self.kind == "switched":
+            return ("switched", self.n_gpus, self.lane_budget)
+        edges = tuple(sorted(
+            (tuple(sorted(pair)), count)
+            for pair, count in self.adjacency.items()
+        ))
+        return ("direct", self.n_gpus, self.lane_budget, edges)
 
     def _check_gpu(self, gpu: int) -> None:
         if not 0 <= gpu < self.n_gpus:

@@ -12,6 +12,11 @@ reproducible from checked-in files instead of command lines::
       "microbatches_per_minibatch": 16,
       "n_minibatches": 2
     }
+
+Cluster keys (``nodes``, ``fabric``, ``tp``, ``dp``, ``pp``,
+``sequence_parallel``) describe a 3D-parallel run; they are ignored by
+:func:`load_job` (which builds the per-replica job) and consumed by
+:func:`cluster_from_spec` / :func:`cluster_config_from_spec`.
 """
 
 from __future__ import annotations
@@ -30,12 +35,20 @@ _OPTIONAL = {
     "n_minibatches": None,
     "mfu": None,
 }
+_CLUSTER = {
+    "nodes": 1,
+    "fabric": "ib-edr",
+    "tp": 1,
+    "dp": 1,
+    "pp": 0,
+    "sequence_parallel": False,
+}
 _BUILDERS = {"pipedream": pipedream_job, "dapple": dapple_job, "gpipe": gpipe_job}
 
 
 def job_from_spec(spec: Dict) -> TrainingJob:
     """Build a :class:`TrainingJob` from a parsed spec dict."""
-    unknown = set(spec) - set(_REQUIRED) - set(_OPTIONAL)
+    unknown = set(spec) - set(_REQUIRED) - set(_OPTIONAL) - set(_CLUSTER)
     if unknown:
         raise ConfigurationError(f"unknown job spec keys: {sorted(unknown)}")
     for key in _REQUIRED:
@@ -69,6 +82,44 @@ def load_job(path: str) -> TrainingJob:
     if not isinstance(spec, dict):
         raise ConfigurationError(f"{path}: job spec must be a JSON object")
     return job_from_spec(spec)
+
+
+def cluster_from_spec(spec: Dict):
+    """The spec's :class:`~repro.hardware.cluster.Cluster`, or ``None``.
+
+    ``None`` when the spec describes a single box with no tensor
+    parallelism — callers fall back to the plain job path.
+    """
+    from repro.cli import SERVERS
+    from repro.hardware.cluster import make_cluster
+    from repro.hardware.links import FABRICS
+
+    nodes = int(spec.get("nodes", 1) or 1)
+    if nodes <= 1 and int(spec.get("tp", 1)) <= 1:
+        return None
+    fabric_name = spec.get("fabric", "ib-edr")
+    fabric = FABRICS.get(fabric_name)
+    if fabric is None:
+        raise ConfigurationError(
+            f"unknown fabric {fabric_name!r}; options: {sorted(FABRICS)}")
+    builder = SERVERS.get(spec["server"])
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown server {spec['server']!r}; options: {sorted(SERVERS)}")
+    return make_cluster(builder, nodes, name=f"{nodes}x-{spec['server']}",
+                        fabric=fabric)
+
+
+def cluster_config_from_spec(spec: Dict):
+    """The spec's :class:`~repro.parallel.cluster.ClusterConfig`."""
+    from repro.parallel.cluster import ClusterConfig
+
+    return ClusterConfig(
+        tp=int(spec.get("tp", 1)),
+        dp=int(spec.get("dp", 1)),
+        pp=int(spec.get("pp", 0)),
+        sequence_parallel=bool(spec.get("sequence_parallel", False)),
+    )
 
 
 def job_to_spec(job: TrainingJob, model_spec: str, server_name: str) -> Dict:

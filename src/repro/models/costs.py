@@ -89,6 +89,29 @@ def layer_backward_flops(hidden: int, seq: int, microbatch: int) -> float:
     return 2.0 * layer_forward_flops(hidden, seq, microbatch)
 
 
+def layer_activation_split(
+    hidden: int,
+    seq: int,
+    microbatch: int,
+    heads: int,
+    bytes_per_element: int = 2,
+) -> tuple:
+    """(linear, attention) activation bytes of one layer, one microbatch.
+
+    Exposed separately because tensor parallelism shards the two parts
+    differently: attention matrices split cleanly across heads, while
+    a fraction of the linear activations stays replicated (see
+    :data:`repro.sim.memory.TP_REPLICATED_LINEAR_FRACTION`).
+    """
+    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch, heads=heads)
+    if bytes_per_element not in _ACTIVATION_PROFILE:
+        raise ConfigurationError("bytes_per_element must be 2 (fp16) or 4 (fp32)")
+    linear_elems, attention_elems = _ACTIVATION_PROFILE[bytes_per_element]
+    linear = linear_elems * seq * microbatch * hidden
+    attention = attention_elems * heads * seq * seq * microbatch
+    return (linear * bytes_per_element, attention * bytes_per_element)
+
+
 def layer_activation_bytes(
     hidden: int,
     seq: int,
@@ -97,13 +120,10 @@ def layer_activation_bytes(
     bytes_per_element: int = 2,
 ) -> int:
     """Saved-for-backward activation bytes of one layer, one microbatch."""
-    _check_positive(hidden=hidden, seq=seq, microbatch=microbatch, heads=heads)
-    if bytes_per_element not in _ACTIVATION_PROFILE:
-        raise ConfigurationError("bytes_per_element must be 2 (fp16) or 4 (fp32)")
-    linear_elems, attention_elems = _ACTIVATION_PROFILE[bytes_per_element]
-    linear = linear_elems * seq * microbatch * hidden
-    attention = attention_elems * heads * seq * seq * microbatch
-    return int((linear + attention) * bytes_per_element)
+    linear, attention = layer_activation_split(
+        hidden, seq, microbatch, heads, bytes_per_element
+    )
+    return int(linear + attention)
 
 
 def layer_boundary_bytes(hidden: int, seq: int, microbatch: int, bytes_per_element: int = 2) -> int:
@@ -133,6 +153,41 @@ def model_state_bytes(params: int) -> int:
     """Total training-state bytes for ``params`` parameters."""
     _check_positive(params=params)
     return params * (PARAM_BYTES + GRAD_BYTES + OPTIMIZER_BYTES)
+
+
+# Tensor parallelism (Megatron-style).  Each sharded block ends in a
+# row-parallel matmul whose partial sums must be all-reduced across
+# the TP group; a transformer layer has two such blocks (attention
+# out-projection and MLP down-projection), the embedding and the
+# tied-weight head one each.  The backward pass mirrors the forward
+# (all-reduces move to the column-parallel entry points), so the
+# per-direction count is the same.  Every one of these all-reduces
+# carries exactly one boundary-sized activation tensor — under
+# sequence parallelism the all-reduce becomes reduce-scatter +
+# all-gather, which on a ring moves identical bytes.
+
+
+def tp_allreduce_count(kind: str) -> int:
+    """TP all-reduces per direction (fwd or bwd) for one layer kind."""
+    if kind == "transformer":
+        return 2
+    if kind in ("embedding", "head"):
+        return 1
+    raise ConfigurationError(f"unknown layer kind {kind!r}")
+
+
+def tp_allreduce_bytes(hidden: int, seq: int, microbatch: int,
+                       bytes_per_element: int = 2) -> int:
+    """Payload of one TP all-reduce: one boundary-sized activation."""
+    return layer_boundary_bytes(hidden, seq, microbatch, bytes_per_element)
+
+
+def tp_layer_comm_bytes(kind: str, hidden: int, seq: int, microbatch: int,
+                        bytes_per_element: int = 2) -> int:
+    """Logical bytes all-reduced by one layer over fwd+bwd, one microbatch."""
+    per_direction = tp_allreduce_count(kind)
+    payload = tp_allreduce_bytes(hidden, seq, microbatch, bytes_per_element)
+    return 2 * per_direction * payload
 
 
 def _check_positive(**named_values: float) -> None:

@@ -1,10 +1,12 @@
-"""Hybrid data x pipeline parallelism on one server.
+"""Intra- and inter-server parallelism beyond the pipeline.
 
 Replica placement over the topology, per-replica sub-servers, DDP
-gradient bucketing with backward overlap, and the ``run_hybrid``
-entry point that composes replicas (each a full memory-managed
-pipeline) with topology-aware all-reduce from
-:mod:`repro.collectives`.
+gradient bucketing with backward overlap, the ``run_hybrid`` entry
+point that composes replicas (each a full memory-managed pipeline)
+with topology-aware all-reduce from :mod:`repro.collectives`, and —
+one level up — Megatron-style tensor parallelism plus the
+``run_cluster`` TP x DP x PP composition over a multi-server
+:class:`~repro.hardware.cluster.Cluster`.
 """
 
 from repro.parallel.bucketing import (
@@ -25,6 +27,16 @@ from repro.parallel.placement import (
     replica_placement,
     sub_server,
 )
+from repro.parallel.tensor import TPLayerSpec, tp_shard_model, tp_sync_time
+from repro.parallel.cluster import (
+    CLUSTER_PLACEMENT_MODES,
+    ClusterConfig,
+    ClusterPlacement,
+    ClusterResult,
+    StageTPSync,
+    cluster_placement,
+    run_cluster,
+)
 
 __all__ = [
     "GradientBucket",
@@ -39,4 +51,14 @@ __all__ = [
     "ReplicaPlacement",
     "replica_placement",
     "sub_server",
+    "TPLayerSpec",
+    "tp_shard_model",
+    "tp_sync_time",
+    "CLUSTER_PLACEMENT_MODES",
+    "ClusterConfig",
+    "ClusterPlacement",
+    "ClusterResult",
+    "StageTPSync",
+    "cluster_placement",
+    "run_cluster",
 ]

@@ -149,9 +149,11 @@ def sub_server(server: Server, devices: Sequence[int]) -> Server:
     PCIe and NVMe specs carry over unchanged.
     """
     devices = tuple(devices)
-    if len(devices) < 2:
+    # A single-GPU carve-out is a valid degenerate replica (a TP rank
+    # running a one-stage pipeline); its induced topology has no lanes.
+    if len(devices) < 1:
         raise ConfigurationError(
-            f"a replica needs >= 2 GPUs, got {devices}")
+            f"a replica needs >= 1 GPU, got {devices}")
     if len(set(devices)) != len(devices):
         raise ConfigurationError(f"replica devices must be distinct: {devices}")
     for device in devices:

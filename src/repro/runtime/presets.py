@@ -11,9 +11,11 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.planner import PlannerConfig
+from repro.hardware.cluster import Cluster, dgx1_cluster
 from repro.hardware.server import Server, dgx1_server, dgx2_server
 from repro.job import dapple_job, pipedream_job
 from repro.models import bert_variant, gpt_variant
+from repro.parallel.cluster import ClusterConfig
 from repro.parallel.hybrid import HybridConfig
 from repro.runtime.task import SimTask
 
@@ -100,12 +102,38 @@ def hybrid_tasks(server: Server = None, billions: float = 0.35) -> List[SimTask]
     return tasks
 
 
+# 3D-parallelism grid: GPT-5.3B on a 2-server DGX-1 cluster, TP x DP
+# shapes with the pipeline depth filling the remainder of each block.
+CLUSTER_SHAPES = ((1, 2, 4), (2, 2, 2), (2, 4, 2), (4, 2, 2))
+CLUSTER_SYSTEM = "mpress"
+
+
+def cluster_tasks(cluster: Cluster = None,
+                  billions: float = 5.3) -> List[SimTask]:
+    """TP x DP x PP grid over a cluster (DAPPLE per chain)."""
+    cluster = cluster if cluster is not None else dgx1_cluster(2)
+    job = dapple_job(gpt_variant(billions), cluster.servers[0],
+                     n_minibatches=2)
+    tasks = []
+    for tp, dp, pp in CLUSTER_SHAPES:
+        tasks.append(SimTask(
+            label=(f"cluster/{cluster.name}/gpt-{billions}"
+                   f"/tp={tp},dp={dp},pp={pp}"),
+            job=job,
+            system=CLUSTER_SYSTEM,
+            cluster=cluster,
+            cluster_config=ClusterConfig(tp=tp, dp=dp, pp=pp),
+        ))
+    return tasks
+
+
 PRESETS = {
     "fig7": lambda: fig7_tasks(),
     "fig8-dgx1": lambda: fig8_tasks(dgx1_server()),
     "fig8-dgx2": lambda: fig8_tasks(dgx2_server()),
     "fig9": lambda: fig9_tasks(),
     "hybrid-dgx1": lambda: hybrid_tasks(dgx1_server()),
+    "cluster-2xdgx1": lambda: cluster_tasks(dgx1_cluster(2)),
 }
 
 

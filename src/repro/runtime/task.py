@@ -44,7 +44,9 @@ from repro.core.serialization import (
 )
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSchedule
+from repro.hardware.cluster import Cluster
 from repro.job import TrainingJob
+from repro.parallel.cluster import ClusterConfig
 from repro.parallel.hybrid import HybridConfig
 
 # Code-relevant version salt: bump whenever simulator/planner
@@ -70,7 +72,9 @@ class SimTask:
     MPress facade under that explicit planner configuration.  When
     ``hybrid`` is set the task runs ``run_hybrid`` — ``system``
     names the per-replica memory system and the hybrid layer adds
-    gradient synchronisation on top.
+    gradient synchronisation on top.  When ``cluster`` is set (with a
+    ``cluster_config``) the task runs ``run_cluster`` over that
+    multi-server fabric instead of ``job.server``.
     """
 
     label: str
@@ -81,6 +85,8 @@ class SimTask:
     plan: Optional[MemorySavingPlan] = None
     record_trace: bool = True
     hybrid: Optional[HybridConfig] = None
+    cluster: Optional[Cluster] = None
+    cluster_config: Optional[ClusterConfig] = None
 
     def __post_init__(self) -> None:
         known = _SYSTEMS + _ZERO_SYSTEMS
@@ -104,6 +110,22 @@ class SimTask:
                     or self.faults is not None:
                 raise ConfigurationError(
                     "hybrid tasks take no planner config, plan, or faults"
+                )
+        if (self.cluster is None) != (self.cluster_config is None):
+            raise ConfigurationError(
+                "cluster tasks need both a Cluster and a ClusterConfig"
+            )
+        if self.cluster is not None:
+            if self.system not in _SYSTEMS:
+                raise ConfigurationError(
+                    "cluster tasks need a pipeline system, not "
+                    f"{self.system!r}"
+                )
+            if self.hybrid is not None or self.config is not None \
+                    or self.plan is not None or self.faults is not None:
+                raise ConfigurationError(
+                    "cluster tasks take no hybrid config, planner config, "
+                    "plan, or faults"
                 )
 
     @property
@@ -136,6 +158,11 @@ class SimTask:
         }
         if self.hybrid is not None:
             payload["hybrid"] = canonical_payload(self.hybrid)
+        if self.cluster is not None:
+            # Same gating as ``hybrid``: only cluster tasks carry these
+            # keys, so every single-server payload stays byte-identical.
+            payload["cluster"] = canonical_payload(self.cluster)
+            payload["cluster_config"] = canonical_payload(self.cluster_config)
         return payload
 
     def cache_key(self) -> str:
@@ -165,6 +192,8 @@ def execute_task(task: SimTask) -> Dict:
     """
     if task.is_zero:
         return _execute_zero(task)
+    if task.cluster is not None:
+        return _execute_cluster(task)
     if task.hybrid is not None:
         return _execute_hybrid(task)
     if task.plan is not None:
@@ -277,6 +306,87 @@ def _execute_hybrid(task: SimTask) -> Dict:
                 trace_digest(replica.simulation.trace)
                 if replica.ok else None
                 for replica in result.replicas
+            ],
+        },
+    }
+
+
+def _execute_cluster(task: SimTask) -> Dict:
+    from repro.parallel.cluster import run_cluster
+
+    result = run_cluster(task.job, task.cluster, task.cluster_config,
+                         system=task.system)
+    ok = result.ok
+    first = result.chains[0][0]
+    return {
+        "version": RECORD_VERSION,
+        "label": task.label,
+        "system": task.system,
+        "ok": ok,
+        "oom": result.oom,
+        "tflops": result.tflops,
+        "samples_per_second": result.samples_per_second,
+        "minibatch_time": result.minibatch_time,
+        "makespan": result.makespan if ok else 0.0,
+        "peak_bytes_per_gpu": result.peak_memory_per_gpu() if ok else [],
+        "feasible": all(
+            chain.planner_report.feasible
+            for replica in result.chains for chain in replica
+        ),
+        "plan": None,
+        "trace_digest": (
+            trace_digest(first.simulation.trace) if ok else None
+        ),
+        "n_trace_events": (
+            len(first.simulation.trace.events) if ok else 0
+        ),
+        "resilience": None,
+        "zero": None,
+        "cluster": {
+            "n_servers": result.cluster.n_servers,
+            "fabric": result.cluster.fabric.link_type.value,
+            "tp": result.tp,
+            "dp": result.dp,
+            "pp": result.pp,
+            "sequence_parallel": task.cluster_config.sequence_parallel,
+            "placement_mode": result.placement.mode,
+            "chains": [
+                [list(chain) for chain in replica]
+                for replica in result.placement.chains
+            ],
+            "bucket_bytes": task.cluster_config.bucket_bytes,
+            "collective_mode": task.cluster_config.collective_mode,
+            "overlap": task.cluster_config.overlap,
+            "chain_minibatch_time": result.chain_minibatch_time,
+            "exposed_tp_sync": result.exposed_tp_sync,
+            "exposed_allreduce": result.exposed_allreduce,
+            "tp_sync": [
+                {
+                    "stage": sync.stage,
+                    "n_groups": sync.n_groups,
+                    "microbatch_seconds": sync.microbatch_seconds,
+                    "minibatch_seconds": sync.minibatch_seconds,
+                }
+                for sync in result.tp_sync
+            ],
+            "stage_allreduce": [
+                {
+                    "stage": sync.stage,
+                    "devices": list(sync.devices),
+                    "algorithm": sync.algorithm,
+                    "grad_bytes": sync.grad_bytes,
+                    "n_buckets": sync.n_buckets,
+                    "allreduce_seconds": sync.allreduce_seconds,
+                    "exposed_seconds": sync.exposed_seconds,
+                }
+                for sync in result.stage_allreduce
+            ],
+            "chain_trace_digests": [
+                [
+                    trace_digest(chain.simulation.trace) if chain.ok else None
+                    for chain in replica
+                ]
+                for replica in result.chains
             ],
         },
     }

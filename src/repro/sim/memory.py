@@ -23,6 +23,34 @@ from typing import Dict, List, Tuple
 
 from repro.errors import OutOfMemoryError, SimulationError
 
+# Fraction of a transformer layer's *linear* activation bytes that a
+# Megatron-style TP split leaves replicated on every rank: of the 34
+# bytes per token-position in the Korthikanti accounting, the two
+# layernorm inputs (4), the two block inputs (4) and the two dropout
+# masks (2) sit outside the sharded matmul chains — 10 of 34.
+TP_REPLICATED_LINEAR_FRACTION = 10.0 / 34.0
+
+
+def tensor_parallel_activation_scale(tp: int, sequence_parallel: bool = False) -> float:
+    """Scale on a layer's linear activation bytes under a TP split.
+
+    Plain tensor parallelism shards the projection/MLP activations
+    ``tp``-ways but keeps the layernorm/dropout/residual tensors
+    replicated, so the linear footprint scales by
+    ``rho + (1 - rho) / tp`` with ``rho`` the replicated fraction.
+    Sequence parallelism (Korthikanti et al.) shards those replicated
+    tensors along the sequence axis too, restoring a clean ``1/tp``.
+    Attention matrices split over heads and always scale ``1/tp``.
+    """
+    if tp < 1:
+        raise SimulationError(f"tensor-parallel degree must be >= 1, got {tp}")
+    if tp == 1:
+        return 1.0
+    if sequence_parallel:
+        return 1.0 / tp
+    rho = TP_REPLICATED_LINEAR_FRACTION
+    return rho + (1.0 - rho) / tp
+
 
 @dataclass
 class DeviceMemory:

@@ -21,7 +21,9 @@ from repro.collectives import (
 )
 from repro.collectives.schedule import CollectiveSchedule, TransferStep
 from repro.errors import ConfigurationError
-from repro.hardware.topology import dgx1_topology, dgx2_topology
+from repro.hardware.cluster import dgx1_cluster
+from repro.hardware.links import NVLINK2
+from repro.hardware.topology import Topology, dgx1_topology, dgx2_topology
 from repro.units import MiB
 
 SIZE = 64 * MiB
@@ -154,6 +156,88 @@ def test_hierarchical_falls_back_to_ring_on_small_groups():
     topo = dgx2_topology()
     sched = hierarchical_all_reduce(topo, (0, 1, 2), SIZE)
     assert sched.algorithm == "ring"
+
+
+def test_islands_disconnected_adjacency():
+    # Two 2-lane pairs with no path between them: the >= 2-lane
+    # subgraph's components are the islands.
+    topo = Topology(n_gpus=4, kind="direct", nvlink=NVLINK2, adjacency={
+        frozenset((0, 1)): 2, frozenset((2, 3)): 2,
+    })
+    assert islands(topo, range(4)) == ((0, 1), (2, 3))
+
+
+def test_islands_two_gpu_direct_topology():
+    topo = Topology(n_gpus=2, kind="direct", nvlink=NVLINK2,
+                    adjacency={frozenset((0, 1)): 2})
+    assert islands(topo, (0, 1)) == ((0, 1),)
+    assert ring_order(topo, (1, 0)) == (0, 1)
+
+
+def test_islands_rejects_singleton_components():
+    # GPU 2 has no 2-lane link, so the union-find yields a size-1
+    # island; unequal sizes reject the partition and the odd group
+    # stays whole.
+    topo = Topology(n_gpus=3, kind="direct", nvlink=NVLINK2, adjacency={
+        frozenset((0, 1)): 2, frozenset((1, 2)): 1,
+    })
+    assert islands(topo, range(3)) == ((0, 1, 2),)
+
+
+def test_islands_unequal_components_fall_back_to_halves():
+    # Components {0,1,2,3} and {4,5} are unequal, so the even group
+    # falls back to sorted halves.
+    topo = Topology(n_gpus=6, kind="direct", nvlink=NVLINK2, adjacency={
+        frozenset((0, 1)): 2, frozenset((1, 2)): 2, frozenset((2, 3)): 2,
+        frozenset((4, 5)): 2,
+    })
+    assert islands(topo, range(6)) == ((0, 1, 2), (3, 4, 5))
+
+
+# -- cluster topologies --------------------------------------------------
+
+
+def test_cluster_islands_are_servers():
+    topo = dgx1_cluster(2).topology
+    assert islands(topo, range(16)) == (tuple(range(8)), tuple(range(8, 16)))
+
+
+def test_cluster_islands_single_server_keeps_quads():
+    topo = dgx1_cluster(2).topology
+    # A group confined to the second box surfaces its local quads,
+    # remapped to global ids.
+    assert islands(topo, range(8, 16)) == ((8, 11, 12, 15), (9, 10, 13, 14))
+
+
+def test_cluster_islands_uneven_servers_stay_single():
+    topo = dgx1_cluster(2).topology
+    assert islands(topo, (0, 1, 2, 8, 9)) == ((0, 1, 2, 8, 9),)
+
+
+def test_cluster_islands_singleton_server_stays_single():
+    topo = dgx1_cluster(2).topology
+    assert islands(topo, (0, 8)) == ((0, 8),)
+
+
+def test_cluster_ring_is_server_contiguous():
+    topo = dgx1_cluster(2).topology
+    cycle = ring_order(topo, range(16))
+    servers = [device // 8 for device in cycle]
+    # Exactly two fabric crossings around the cycle.
+    crossings = sum(servers[i] != servers[(i + 1) % 16] for i in range(16))
+    assert crossings == 2
+    # Each segment follows the box's own ring search.
+    local = ring_order(dgx1_topology(), range(8))
+    assert cycle[:8] == local
+    assert cycle[8:] == tuple(device + 8 for device in local)
+
+
+def test_cluster_hierarchical_beats_flat_ring():
+    topo = dgx1_cluster(2).topology
+    ring = all_reduce_time(topo, range(16), SIZE, "ring")
+    hier = all_reduce_time(topo, range(16), SIZE, "hierarchical")
+    assert hier < ring
+    assert all_reduce_time(topo, range(16), SIZE, "auto") <= hier
 
 
 # -- analytic costs ------------------------------------------------------

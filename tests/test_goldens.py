@@ -95,6 +95,27 @@ def hybrid_golden_task(name: str) -> SimTask:
                    hybrid=HybridConfig(dp=dp))
 
 
+# name -> (family, billions, n_servers, system, n_minibatches, tp, dp, pp)
+CLUSTER_GOLDENS = {
+    "2xdgx1-dapple-gpt53-mpress-tp2-dp2-pp2": ("gpt", 5.3, 2, "mpress",
+                                               2, 2, 2, 2),
+}
+
+
+def cluster_golden_task(name: str) -> SimTask:
+    from repro.hardware.cluster import dgx1_cluster
+    from repro.parallel.cluster import ClusterConfig
+
+    family, billions, n_servers, system, nmb, tp, dp, pp = \
+        CLUSTER_GOLDENS[name]
+    cluster = dgx1_cluster(n_servers)
+    job = dapple_job(_MODELS[family](billions), cluster.servers[0],
+                     n_minibatches=nmb)
+    return SimTask(label=f"golden/{name}", job=job, system=system,
+                   cluster=cluster,
+                   cluster_config=ClusterConfig(tp=tp, dp=dp, pp=pp))
+
+
 def golden_path(name: str) -> str:
     return os.path.join(GOLDEN_DIR, f"{name}.json")
 
@@ -129,6 +150,32 @@ def test_hybrid_golden(name, update_goldens):
     record = execute_task(hybrid_golden_task(name))
     assert record["ok"], f"hybrid golden {name} must simulate cleanly"
     assert record["hybrid"]["dp"] == HYBRID_GOLDENS[name][6]
+    path = golden_path(name)
+    if update_goldens:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"name": name, "record": record}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    assert os.path.exists(path), (
+        f"missing golden {path}; run pytest --update-goldens"
+    )
+    with open(path) as handle:
+        golden = json.load(handle)
+    assert record == golden["record"], (
+        f"golden {name} drifted; if the semantic change is intentional, "
+        f"refresh with --update-goldens and bump RUNTIME_CACHE_SALT"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CLUSTER_GOLDENS))
+def test_cluster_golden(name, update_goldens):
+    """Cluster TP x DP x PP records pin the placement, both sync
+    planes, and every chain's trace digest."""
+    record = execute_task(cluster_golden_task(name))
+    assert record["ok"], f"cluster golden {name} must simulate cleanly"
+    assert record["cluster"]["tp"] == CLUSTER_GOLDENS[name][5]
     path = golden_path(name)
     if update_goldens:
         os.makedirs(GOLDEN_DIR, exist_ok=True)

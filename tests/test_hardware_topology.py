@@ -80,9 +80,14 @@ class TestSwitchedTopology:
 
 
 class TestValidation:
-    def test_rejects_single_gpu(self):
+    def test_single_gpu_degenerate_topology(self):
+        # Size-1 sub-topologies are legal (cluster carve-outs).
+        topo = Topology(n_gpus=1, kind="switched", nvlink=NVLINK2)
+        assert topo.n_gpus == 1
+
+    def test_rejects_zero_gpus(self):
         with pytest.raises(TopologyError):
-            Topology(n_gpus=1, kind="switched", nvlink=NVLINK2)
+            Topology(n_gpus=0, kind="switched", nvlink=NVLINK2)
 
     def test_rejects_unknown_kind(self):
         with pytest.raises(TopologyError):

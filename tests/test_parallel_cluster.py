@@ -1,0 +1,276 @@
+"""3D parallelism over the cluster fabric: TP sharding, placement,
+``run_cluster``, and the acceptance criteria of the cluster refactor
+(fast path == reference bit-for-bit, analytic == lowered collectives).
+"""
+
+import json
+
+import pytest
+
+from repro.collectives import (
+    all_reduce_schedule,
+    collective_time,
+    simulate_collective_time,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import dgx1_cluster, dgx2_cluster
+from repro.job import dapple_job
+from repro.models import gpt_variant
+from repro.models.layers import LayerKind
+from repro.parallel.cluster import (
+    ClusterConfig,
+    cluster_placement,
+    plan_chain_job,
+    run_cluster,
+)
+from repro.parallel.tensor import tp_shard_model, tp_sync_time
+from repro.runtime.task import SimTask, execute_task
+from repro.sim.memory import tensor_parallel_activation_scale
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return dgx1_cluster(2)
+
+
+@pytest.fixture(scope="module")
+def job(cluster):
+    return dapple_job(gpt_variant(5.3), cluster.servers[0], n_minibatches=2)
+
+
+# -- tensor-parallel sharding --------------------------------------------
+
+
+def test_tp_shard_scales_params_flops_not_norms():
+    model = gpt_variant(5.3)
+    shard = tp_shard_model(model, 2)
+    base = next(l for l in model.layers if l.kind is LayerKind.TRANSFORMER)
+    cut = next(l for l in shard.layers if l.kind is LayerKind.TRANSFORMER)
+    hidden = model.config.hidden
+    # Matmul weights halve; the 13h layernorm/bias terms replicate.
+    assert cut.params == (12 * hidden * hidden) // 2 + 13 * hidden
+    assert 2 * cut.params > base.params
+    assert cut.forward_flops(2) == pytest.approx(base.forward_flops(2) / 2)
+    # Plain TP re-materialises the full boundary tensor on every rank.
+    assert cut.boundary_bytes(2) == base.boundary_bytes(2)
+
+
+def test_tp_activation_scale_plain_vs_sequence_parallel():
+    assert tensor_parallel_activation_scale(1) == 1.0
+    plain = tensor_parallel_activation_scale(4)
+    sp = tensor_parallel_activation_scale(4, sequence_parallel=True)
+    # SP shards the replicated fraction too: exactly 1/tp.
+    assert sp == pytest.approx(0.25)
+    assert 0.25 < plain < 1.0
+    model = gpt_variant(5.3)
+    base = next(l for l in model.layers if l.kind is LayerKind.TRANSFORMER)
+    cut = next(l for l in tp_shard_model(model, 2, True).layers
+               if l.kind is LayerKind.TRANSFORMER)
+    assert cut.activation_bytes(2) < base.activation_bytes(2)
+    assert cut.boundary_bytes(2) == base.boundary_bytes(2) // 2
+
+
+def test_tp_shard_identity_and_validation():
+    model = gpt_variant(5.3)
+    assert tp_shard_model(model, 1) is model
+    with pytest.raises(ConfigurationError):
+        tp_shard_model(model, 1000)          # more ranks than heads
+    with pytest.raises(ConfigurationError):
+        tp_shard_model(model, 0)
+
+
+def test_tp_sync_time_counts_both_directions(cluster, job):
+    topo = cluster.topology
+    shard = tp_shard_model(job.model, 2)
+    transformers = [l for l in shard.layers
+                    if l.kind is LayerKind.TRANSFORMER]
+    one = tp_sync_time(transformers[:1], topo, (0, 3), job.microbatch_size)
+    # A transformer layer all-reduces twice per direction.
+    from repro.collectives.cost import all_reduce_time
+    from repro.models.costs import tp_allreduce_bytes
+
+    payload = tp_allreduce_bytes(shard.config.hidden, shard.config.seq_len,
+                                 job.microbatch_size)
+    assert one == pytest.approx(
+        4 * all_reduce_time(topo, (0, 3), payload, "ring"))
+    assert tp_sync_time(transformers, topo, (0,), job.microbatch_size) == 0.0
+
+
+# -- placement -----------------------------------------------------------
+
+
+def test_placement_shapes_and_groups(cluster):
+    topo = cluster.topology
+    placement = cluster_placement(topo, tp=2, dp=2, pp=2)
+    assert (placement.tp, placement.dp, placement.pp) == (2, 2, 2)
+    used = [d for r in placement.chains for c in r for d in c]
+    assert len(set(used)) == 8
+    # Chains never straddle a server.
+    for replica in placement.chains:
+        for chain in replica:
+            assert len({topo.server_of(d) for d in chain}) == 1
+    # Groups are consistent views of the same grid.
+    assert placement.tp_group(0, 0) == tuple(
+        placement.chain(0, t)[0] for t in range(2))
+    assert placement.dp_group(0, 0) == tuple(
+        placement.chain(r, 0)[0] for r in range(2))
+
+
+def test_placement_spread_forces_cross_server(cluster):
+    topo = cluster.topology
+    spread = cluster_placement(topo, tp=1, dp=2, pp=8, mode="spread")
+    servers = {topo.server_of(replica[0][0]) for replica in spread.chains}
+    assert servers == {0, 1}
+    assert spread.mode == "spread"
+
+
+def test_placement_rejects_oversized_shapes(cluster):
+    topo = cluster.topology
+    with pytest.raises(ConfigurationError):
+        cluster_placement(topo, tp=2, dp=2, pp=8)     # 32 > 16 GPUs
+    with pytest.raises(ConfigurationError):
+        cluster_placement(topo, tp=4, dp=1, pp=4)     # block > one server
+    with pytest.raises(ConfigurationError):
+        cluster_placement(topo, tp=0, dp=2, pp=2)
+
+
+def test_placement_fills_heterogeneous_free_lists():
+    # dp=4 blocks of 4 GPUs pack two per server.
+    topo = dgx1_cluster(2).topology
+    placement = cluster_placement(topo, tp=2, dp=4, pp=2, mode="packed")
+    assert len({d for r in placement.chains for c in r for d in c}) == 16
+
+
+# -- run_cluster ---------------------------------------------------------
+
+
+def test_run_cluster_tp2_dp2_pp2_acceptance(cluster, job):
+    """The ISSUE's acceptance shape: GPT-5.3B, TP=2 x DP=2 x PP=2."""
+    result = run_cluster(job, cluster, ClusterConfig(tp=2, dp=2, pp=2))
+    assert result.ok
+    assert (result.tp, result.dp, result.pp) == (2, 2, 2)
+    assert len(result.chains) == 2 and len(result.chains[0]) == 2
+    # Both sync planes are live and additive.
+    assert result.exposed_tp_sync > 0
+    assert result.exposed_allreduce > 0
+    assert result.minibatch_time == pytest.approx(
+        result.chain_minibatch_time + result.exposed_tp_sync
+        + result.exposed_allreduce)
+    assert result.samples_per_second > 0
+    assert result.tflops > 0
+    peaks = result.peak_memory_per_gpu()
+    assert len(peaks) == 16
+    assert sum(p > 0 for p in peaks) == 8     # tp*dp*pp GPUs busy
+
+
+def test_run_cluster_fastpath_matches_reference(cluster, job, monkeypatch):
+    """Chain simulations dispatch through the fast path; forcing the
+    reference interpreter must not move a single byte of the record
+    (trace digests included)."""
+    task = SimTask(label="cluster-equiv", job=job, system="mpress",
+                   cluster=cluster,
+                   cluster_config=ClusterConfig(tp=2, dp=2, pp=2))
+    fast = execute_task(task)
+    monkeypatch.setattr("repro.sim.fastpath.wants_fast_path",
+                        lambda *args, **kwargs: False)
+    reference = execute_task(task)
+    assert json.dumps(fast, sort_keys=True) == \
+        json.dumps(reference, sort_keys=True)
+    assert fast["cluster"]["chain_trace_digests"] == \
+        reference["cluster"]["chain_trace_digests"]
+
+
+def test_cluster_hierarchical_analytic_matches_lowered(cluster):
+    """Acceptance: the inter-node tier of the hierarchical all-reduce
+    prices identically through the analytic model and the IR
+    interpreter (1e-6 relative)."""
+    flat = cluster.as_server()
+    topo = cluster.topology
+    for algorithm in ("ring", "tree", "hierarchical"):
+        sched = all_reduce_schedule(topo, range(16), 64 * MiB,
+                                    algorithm=algorithm)
+        analytic = collective_time(sched, topo)
+        simulated = simulate_collective_time(flat, sched)
+        assert simulated == pytest.approx(analytic, rel=1e-6), algorithm
+
+
+def test_cluster_dp_crosses_fabric_costs_more():
+    """Spreading replicas over the NIC fabric must price the DP
+    all-reduce higher than packing them on NVLink."""
+    cluster = dgx1_cluster(2)
+    job = dapple_job(gpt_variant(5.3), cluster.servers[0], n_minibatches=2)
+    packed = run_cluster(job, cluster, ClusterConfig(
+        tp=2, dp=2, pp=2, placement_mode="packed"))
+    spread = run_cluster(job, cluster, ClusterConfig(
+        tp=2, dp=2, pp=2, placement_mode="spread"))
+    assert packed.ok and spread.ok
+    assert spread.exposed_allreduce >= packed.exposed_allreduce
+    assert packed.minibatch_time <= spread.minibatch_time
+
+
+def test_run_cluster_single_server_tp_only():
+    """tp>1 on a one-box cluster: the degenerate fabric case."""
+    cluster = dgx1_cluster(1)
+    job = dapple_job(gpt_variant(5.3), cluster.servers[0], n_minibatches=2)
+    result = run_cluster(job, cluster, ClusterConfig(tp=2, dp=1, pp=4))
+    assert result.ok
+    assert result.exposed_allreduce == 0.0    # no DP plane
+    assert result.exposed_tp_sync > 0
+
+
+def test_run_cluster_sequence_parallel_saves_memory(cluster, job):
+    plain = run_cluster(job, cluster, ClusterConfig(tp=2, dp=2, pp=2))
+    sp = run_cluster(job, cluster, ClusterConfig(
+        tp=2, dp=2, pp=2, sequence_parallel=True))
+    assert plain.ok and sp.ok
+    assert max(sp.peak_memory_per_gpu()) < max(plain.peak_memory_per_gpu())
+
+
+def test_plan_chain_job_is_one_chain(cluster, job):
+    chain, placement = plan_chain_job(job, cluster,
+                                      ClusterConfig(tp=2, dp=2, pp=2))
+    assert chain.server.n_gpus == 2           # pp devices
+    assert chain.n_stages == 2
+    assert placement.chain(0, 0) in [
+        tuple(c) for r in placement.chains for c in r]
+    # The chain's model is the TP shard, not the full model.
+    assert chain.model.layers[1].params < job.model.layers[1].params
+
+
+# -- cluster tasks in the runtime ----------------------------------------
+
+
+def test_cluster_task_validation(cluster, job):
+    from repro.parallel.hybrid import HybridConfig
+
+    with pytest.raises(ConfigurationError):
+        SimTask(label="x", job=job, system="mpress", cluster=cluster)
+    with pytest.raises(ConfigurationError):
+        SimTask(label="x", job=job, system="mpress",
+                cluster_config=ClusterConfig(tp=2))
+    with pytest.raises(ConfigurationError):
+        SimTask(label="x", job=job, system="mpress", cluster=cluster,
+                cluster_config=ClusterConfig(tp=2), hybrid=HybridConfig(dp=2))
+
+
+def test_cluster_task_key_depends_on_shape(cluster, job):
+    a = SimTask(label="x", job=job, system="mpress", cluster=cluster,
+                cluster_config=ClusterConfig(tp=2, dp=2, pp=2))
+    b = SimTask(label="x", job=job, system="mpress", cluster=cluster,
+                cluster_config=ClusterConfig(tp=1, dp=2, pp=4))
+    c = SimTask(label="x", job=job, system="mpress",
+                cluster=dgx2_cluster(2),
+                cluster_config=ClusterConfig(tp=2, dp=2, pp=2))
+    assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+    assert a.cache_key() == SimTask(
+        label="x", job=job, system="mpress", cluster=dgx1_cluster(2),
+        cluster_config=ClusterConfig(tp=2, dp=2, pp=2)).cache_key()
+
+
+def test_plain_task_key_unchanged_by_cluster_fields(job):
+    """Single-server cache keys must not see the new fields at all."""
+    task = SimTask(label="x", job=job, system="recomputation")
+    payload = task.key_payload()
+    assert "cluster" not in payload
+    assert "cluster_config" not in payload

@@ -69,11 +69,18 @@ def test_sub_server_switched_keeps_lane_budget(switched_server):
 
 def test_sub_server_validates(server):
     with pytest.raises(ConfigurationError):
-        sub_server(server, (0,))
+        sub_server(server, ())
     with pytest.raises(ConfigurationError):
         sub_server(server, (0, 0))
     with pytest.raises(ConfigurationError):
         sub_server(server, (0, 9))
+
+
+def test_sub_server_single_device(server):
+    # Degenerate one-GPU carve-out: a tp=1, pp=1 cluster chain.
+    sub = sub_server(server, (2,))
+    assert sub.n_gpus == 1
+    assert sub.topology.n_gpus == 1
 
 
 # -- bucketing -----------------------------------------------------------
