@@ -1,0 +1,92 @@
+"""End-to-end smoke of ``repro serve`` (the CI ``serve-smoke`` job).
+
+Boots the real CLI server as a subprocess, drives the same sweep
+cold and warm over HTTP, and asserts the service contract:
+
+* cold run simulates everything (``executed == n``, no hits);
+* warm run is served entirely from the shared cache
+  (``executed == 0``) with a nonzero hit rate in ``/v1/stats``;
+* the two runs' records are byte-identical.
+
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+TASKS = [
+    {"model": "bert-0.35", "server": "dgx1", "system": "none"},
+    {"model": "bert-0.35", "server": "dgx1", "system": "recomputation"},
+]
+
+
+def boot(cache_dir: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--cache", cache_dir, "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def read_url(proc: subprocess.Popen, timeout: float = 30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its URL")
+        sys.stdout.write(line)
+        match = re.search(r"listening on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    raise SystemExit("timed out waiting for the server URL")
+
+
+def main() -> int:
+    from repro.serve import ServeClient
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        proc = boot(cache_dir)
+        try:
+            client = ServeClient(read_url(proc), timeout=60.0)
+            assert client.health()["ok"] is True
+
+            cold = client.wait(
+                client.submit(tasks=TASKS, tenant="ci-cold"),
+                timeout=300.0, results="full")
+            assert cold["status"] == "done" and cold["failed"] == 0, cold
+            assert cold["executed"] == len(TASKS), cold
+            assert cold["cached"] == 0, cold
+
+            warm = client.wait(
+                client.submit(tasks=TASKS, tenant="ci-warm"),
+                timeout=300.0, results="full")
+            assert warm["executed"] == 0, warm
+            assert warm["cached"] == len(TASKS), warm
+            assert (json.dumps(cold["records"], sort_keys=True)
+                    == json.dumps(warm["records"], sort_keys=True)), \
+                "warm records differ from cold records"
+
+            stats = client.stats()
+            assert stats["cache"]["hits"] >= len(TASKS), stats
+            assert stats["cache"]["hit_rate"] > 0, stats
+            assert stats["tenants"]["ci-warm"]["cached"] == len(TASKS)
+            print(f"serve smoke ok: cold executed={cold['executed']}, "
+                  f"warm cached={warm['cached']}, "
+                  f"hit_rate={stats['cache']['hit_rate']:.2f}")
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

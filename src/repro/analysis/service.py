@@ -1,0 +1,77 @@
+"""Drive analysis sweeps through a running sweep server.
+
+The remote twin of :mod:`repro.analysis.sweep`: the same
+(model × system) grid, but executed by ``repro serve`` over HTTP
+instead of a local process pool — so many analysis clients share one
+warm cache and one fair-share scheduler.  Records come back in grid
+order and lower to the same :class:`~repro.analysis.sweep.SweepCell`
+rows, so a remote sweep is a drop-in replacement for a local one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.sweep import SweepCell, cells_from_records
+
+
+def remote_sweep_specs(models: Sequence[str], systems: Sequence[str],
+                       server: str = "dgx1",
+                       pipeline: Optional[str] = None) -> List[Dict]:
+    """Task specs of a (model × system) grid, in grid order."""
+    specs = []
+    for model in models:
+        for system in systems:
+            spec = {
+                "model": model,
+                "server": server,
+                "system": system,
+                "label": f"{model}/{system}",
+            }
+            if pipeline is not None:
+                spec["pipeline"] = pipeline
+            specs.append(spec)
+    return specs
+
+
+@dataclass
+class RemoteSweepReport:
+    """A remote sweep's cells plus the server's job accounting."""
+
+    cells: List[SweepCell]
+    detail: Dict
+
+    @property
+    def executed(self) -> int:
+        return self.detail["executed"]
+
+    @property
+    def cached(self) -> int:
+        return self.detail["cached"]
+
+    @property
+    def failed(self) -> int:
+        return self.detail["failed"]
+
+
+def remote_sweep(base_url: str, models: Sequence[str],
+                 systems: Sequence[str], server: str = "dgx1",
+                 pipeline: Optional[str] = None, tenant: str = "analysis",
+                 priority: int = 0,
+                 timeout: float = 600.0) -> RemoteSweepReport:
+    """Run the grid on the server at ``base_url`` and collect cells.
+
+    Blocks until the job completes (long-polling), like the local
+    :func:`~repro.analysis.sweep.run_sweep` blocks on its runtime.
+    """
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(base_url)
+    specs = remote_sweep_specs(models, systems, server=server,
+                               pipeline=pipeline)
+    job_id = client.submit(tasks=specs, tenant=tenant, priority=priority)
+    detail = client.wait(job_id, timeout=timeout, results="full")
+    cells = cells_from_records(dict.fromkeys(models), systems,
+                               detail["records"])
+    return RemoteSweepReport(cells=cells, detail=detail)

@@ -499,6 +499,7 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_cache(args) -> int:
     from repro.runtime import ResultCache
+    from repro.units import MiB
 
     cache = ResultCache(args.cache)
     if args.action == "stats":
@@ -507,8 +508,37 @@ def _cmd_cache(args) -> int:
         else:
             print(cache.stats().summary())
         return 0
-    removed = cache.clear()
-    print(f"{args.cache}: removed {removed} entries")
+    if args.action == "evict":
+        if args.max_mib is None:
+            raise ConfigurationError("cache evict needs --max-mib")
+        removed = cache.evict_to(int(args.max_mib * MiB))
+        print(f"{args.cache}: evicted {removed} entries "
+              f"(LRU, cap {args.max_mib:g} MiB)")
+        return 0
+    removed = cache.clear(keep_newer_than=args.keep_newer_than)
+    guard = (f" (kept entries newer than {args.keep_newer_than:g}s)"
+             if args.keep_newer_than is not None else "")
+    print(f"{args.cache}: removed {removed} entries{guard}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.runtime import ResultCache
+    from repro.serve import SweepServer
+    from repro.units import MiB
+
+    cache = None
+    if args.cache:
+        max_bytes = (int(args.cache_max_mib * MiB)
+                     if args.cache_max_mib is not None else None)
+        cache = ResultCache(args.cache, max_bytes=max_bytes)
+    server = SweepServer(host=args.host, port=args.port, jobs=args.jobs,
+                         cache=cache, retries=args.retries,
+                         verbose=not args.quiet)
+    server.start()
+    print(f"repro serve listening on {server.url} "
+          f"(jobs={args.jobs}, cache={args.cache or 'off'})", flush=True)
+    server.serve_forever()
     return 0
 
 
@@ -662,11 +692,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     cache = sub.add_parser("cache", help="inspect or evict the result cache")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "clear", "evict"))
     cache.add_argument("--cache", required=True, metavar="DIR")
     cache.add_argument("--json", action="store_true",
-                       help="machine-readable stats (entries, bytes, shards)")
+                       help="machine-readable stats (entries, bytes, shards, "
+                            "evictions, hit_rate)")
+    cache.add_argument("--keep-newer-than", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with clear: spare entries touched within the "
+                            "last SECONDS")
+    cache.add_argument("--max-mib", type=float, default=None, metavar="MIB",
+                       help="with evict: LRU-evict down to this size cap")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="multi-tenant sweep server (planning-as-a-service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes / concurrent simulations")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="shared content-addressed result cache")
+    serve.add_argument("--cache-max-mib", type=float, default=None,
+                       metavar="MIB",
+                       help="LRU size cap for the shared cache")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="pool retries before a task is excluded inline")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logs")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

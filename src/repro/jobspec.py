@@ -122,6 +122,66 @@ def cluster_config_from_spec(spec: Dict):
     )
 
 
+_TASK = {
+    "label": None,
+    "system": "mpress",
+    "faults_seed": None,
+    "faults_horizon": 60.0,
+    "hybrid_dp": None,
+}
+
+
+def task_from_spec(spec: Dict) -> "SimTask":
+    """Build a runtime :class:`~repro.runtime.SimTask` from a spec dict.
+
+    This is the deserialization path of the sweep server (``repro
+    serve``): one task spec is a job spec plus task-level keys —
+    ``system`` (default ``"mpress"``), a cosmetic ``label``,
+    ``faults_seed``/``faults_horizon`` (a seeded random campaign over
+    ``n_gpus`` devices), and ``hybrid_dp`` (a DP×PP hybrid run).
+    Cluster specs (``nodes``/``tp``/...) lower to cluster tasks, the
+    same split as :func:`cluster_from_spec`.
+    """
+    from repro.faults.spec import random_schedule
+    from repro.runtime.task import SimTask
+
+    if not isinstance(spec, dict):
+        raise ConfigurationError("task spec must be a JSON object")
+    spec = dict(spec)
+    task_keys = {key: spec.pop(key, default)
+                 for key, default in _TASK.items()}
+    job = job_from_spec(spec)
+    cluster = cluster_from_spec(spec)
+    cluster_config = cluster_config_from_spec(spec) if cluster is not None \
+        else None
+    system = task_keys["system"]
+    faults = None
+    if task_keys["faults_seed"] is not None:
+        faults = random_schedule(
+            seed=int(task_keys["faults_seed"]),
+            n_devices=job.server.n_gpus,
+            horizon=float(task_keys["faults_horizon"]),
+        )
+    hybrid = None
+    if task_keys["hybrid_dp"] is not None:
+        from repro.parallel.hybrid import HybridConfig
+
+        hybrid = HybridConfig(dp=int(task_keys["hybrid_dp"]))
+    label = task_keys["label"]
+    if label is None:
+        label = f"{spec['model']}/{spec['server']}/{system}"
+        if cluster_config is not None:
+            label += (f"/tp={cluster_config.tp},dp={cluster_config.dp},"
+                      f"pp={cluster_config.pp}")
+        if hybrid is not None:
+            label += f"/dp={hybrid.dp}"
+        if task_keys["faults_seed"] is not None:
+            label += f"/faults={int(task_keys['faults_seed'])}"
+    return SimTask(label=label, job=job, system=system, faults=faults,
+                   hybrid=hybrid, cluster=cluster,
+                   cluster_config=cluster_config)
+
+
 def job_to_spec(job: TrainingJob, model_spec: str, server_name: str) -> Dict:
     """Render a job back into a spec dict (for saving experiments)."""
     return {

@@ -1,0 +1,115 @@
+"""Stdlib HTTP client for the sweep server.
+
+Thin, dependency-free (urllib) wrapper over the JSON API — the
+programmatic way to drive ``repro serve`` from scripts, tests, and
+:mod:`repro.analysis.service`.  One instance is cheap and stateless;
+every method opens its own connection.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The server rejected a request or a job id is unknown."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServeClient:
+    """Talk to one sweep server (``base_url`` like ``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[Dict] = None,
+                 timeout: Optional[float] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(url, data=data, headers=headers)
+        try:
+            with urlopen(request,
+                         timeout=timeout or self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8"))["error"]
+            except Exception:   # noqa: BLE001 — non-JSON error body
+                message = error.reason
+            raise ServeError(error.code, message)
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("/v1/stats")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("/v1/jobs")["jobs"]
+
+    def submit(self, tasks: Optional[List[Dict]] = None,
+               preset: Optional[str] = None, tenant: str = "default",
+               priority: int = 0) -> str:
+        """Submit task specs or a named preset; returns the job id."""
+        payload: Dict = {"tenant": tenant, "priority": priority}
+        if preset is not None:
+            payload["preset"] = preset
+        if tasks is not None:
+            payload["tasks"] = tasks
+        return self._request("/v1/jobs", payload=payload)["id"]
+
+    def job(self, job_id: str, results: str = "summary") -> Dict:
+        return self._request(f"/v1/jobs/{job_id}?results={results}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             results: str = "summary", poll: float = 10.0) -> Dict:
+        """Block until the job is done (long-polling ``/wait``).
+
+        Raises :class:`ServeError` (status 0) on timeout so callers
+        don't mistake a half-finished job for a result.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(0, f"job {job_id} not done after {timeout}s")
+            slice_ = min(poll, max(remaining, 0.05))
+            detail = self._request(
+                f"/v1/jobs/{job_id}/wait?timeout={slice_:.3f}"
+                f"&results={results}",
+                timeout=slice_ + self.timeout)
+            if detail["status"] == "done":
+                return detail
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict]:
+        """Follow a job's progress stream (one summary per change).
+
+        Yields until the server closes the stream — which it does
+        when the job completes.
+        """
+        url = f"{self.base_url}/v1/jobs/{job_id}/events"
+        with urlopen(Request(url),
+                     timeout=timeout or self.timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))

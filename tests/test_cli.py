@@ -190,7 +190,62 @@ class TestSweepAndCache:
         assert main(["cache", "stats", "--cache", cache_dir, "--json"]) == 0
         stats = jsonlib.loads(capsys.readouterr().out)
         assert stats == {"root": cache_dir, "entries": 0, "total_bytes": 0,
-                         "shards": 0, "hits": 0, "misses": 0}
+                         "shards": 0, "hits": 0, "misses": 0,
+                         "evictions": 0, "hit_rate": 0.0, "max_bytes": None}
+
+    def test_cache_stats_json_reports_evictions_and_hit_rate(
+            self, capsys, tmp_path):
+        import json as jsonlib
+
+        from repro.runtime import ResultCache
+
+        cache_dir = str(tmp_path / "cache")
+        # Force one eviction via a tiny cap, outside the CLI.
+        cache = ResultCache(cache_dir, max_bytes=10)
+        cache.put("aa" + "0" * 62, {"label": "one"})
+        cache.put("bb" + "0" * 62, {"label": "two"})
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache_dir, "--json"]) == 0
+        stats = jsonlib.loads(capsys.readouterr().out)
+        assert stats["evictions"] == 1      # read back from _meta.json
+        assert stats["entries"] == 1
+        assert "hit_rate" in stats
+
+    def test_cache_clear_keep_newer_than_spares_fresh_entries(
+            self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--models", "bert-0.35", "--systems", "none",
+              "--quiet", "--cache", cache_dir])
+        capsys.readouterr()
+        # Everything was written milliseconds ago: a guarded clear
+        # removes nothing.
+        assert main(["cache", "clear", "--cache", cache_dir,
+                     "--keep-newer-than", "3600"]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", cache_dir]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_cache_evict_requires_max_mib(self, capsys, tmp_path):
+        assert main(["cache", "evict",
+                     "--cache", str(tmp_path / "cache")]) == 2
+
+    def test_cache_evict_to_cap(self, capsys, tmp_path):
+        import json as jsonlib
+
+        cache_dir = str(tmp_path / "cache")
+        main(["sweep", "--models", "bert-0.35", "--systems",
+              "none,recomputation", "--quiet", "--cache", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "evict", "--cache", cache_dir,
+                     "--max-mib", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert main(["cache", "stats", "--cache", cache_dir,
+                     "--json"]) == 0
+        stats = jsonlib.loads(capsys.readouterr().out)
+        assert stats["entries"] < 2          # at least one LRU victim
+        assert stats["total_bytes"] <= int(0.001 * 2**20)
+        assert stats["evictions"] >= 1       # persisted in _meta.json
 
 
 class TestPlannerKnobs:
@@ -285,3 +340,26 @@ class TestCacheEdgeCases:
         assert "0 entries" in capsys.readouterr().out
         assert main(["cache", "clear", "--cache", cache_dir]) == 0
         assert "removed 0 entries" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_registered_in_help(self):
+        assert "serve" in build_parser().format_help()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.jobs == 1
+        assert args.cache is None
+        assert args.cache_max_mib is None
+        assert args.retries == 2
+        assert not args.quiet
+
+    def test_cache_cap_flag_parses(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--jobs", "4",
+            "--cache", "/tmp/c", "--cache-max-mib", "64",
+        ])
+        assert args.cache == "/tmp/c"
+        assert args.cache_max_mib == 64.0

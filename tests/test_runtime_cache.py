@@ -96,3 +96,127 @@ def test_missing_root_stats(tmp_path):
     cache = ResultCache(str(tmp_path / "never-created"))
     assert cache.stats().entries == 0
     assert cache.clear() == 0
+
+
+# -- LRU eviction ------------------------------------------------------------
+
+
+def _pad_record(n: int) -> dict:
+    return {"label": str(n), "pad": "x" * 200}
+
+
+def test_max_bytes_must_be_positive(tmp_path):
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ResultCache(str(tmp_path), max_bytes=0)
+
+
+def test_put_evicts_oldest_beyond_cap(tmp_path):
+    one = len(json.dumps({"version": 1, "key": _key(0),
+                          "record": _pad_record(0)}, sort_keys=True))
+    cache = ResultCache(str(tmp_path), max_bytes=2 * one)
+    for n in range(3):
+        cache.put(_key(n), _pad_record(n))
+    assert cache.keys() == sorted([_key(1), _key(2)])
+    assert cache.evictions == 1
+    assert cache.total_bytes() <= 2 * one
+
+
+def test_hit_protects_an_entry_from_the_next_eviction(tmp_path):
+    one = len(json.dumps({"version": 1, "key": _key(0),
+                          "record": _pad_record(0)}, sort_keys=True))
+    cache = ResultCache(str(tmp_path), max_bytes=2 * one)
+    cache.put(_key(0), _pad_record(0))
+    cache.put(_key(1), _pad_record(1))
+    assert cache.get(_key(0)) is not None   # 0 is now most recent
+    cache.put(_key(2), _pad_record(2))      # overflow: 1 is LRU
+    assert cache.keys() == sorted([_key(0), _key(2)])
+
+
+def test_just_put_entry_is_never_its_own_victim(tmp_path):
+    # A cap smaller than a single record still stores the newest one.
+    cache = ResultCache(str(tmp_path), max_bytes=10)
+    cache.put(_key(0), _pad_record(0))
+    cache.put(_key(1), _pad_record(1))
+    assert cache.keys() == [_key(1)]
+
+
+def test_evictions_persist_across_instances(tmp_path):
+    one = len(json.dumps({"version": 1, "key": _key(0),
+                          "record": _pad_record(0)}, sort_keys=True))
+    first = ResultCache(str(tmp_path), max_bytes=one)
+    first.put(_key(0), _pad_record(0))
+    first.put(_key(1), _pad_record(1))
+    assert first.evictions == 1
+    second = ResultCache(str(tmp_path))
+    assert second.total_evictions() == 1
+    assert second.stats().evictions == 1
+    # _meta.json never masquerades as an entry.
+    assert second.stats().entries == 1
+
+
+def test_evict_to_one_shot(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for n in range(4):
+        cache.put(_key(n), _pad_record(n))
+    cache.get(_key(0))                      # 0 becomes most recent
+    removed = cache.evict_to(cache.total_bytes() // 2)
+    assert removed >= 1
+    assert _key(0) in cache.keys()
+    assert cache.max_bytes is None          # one-shot, cap not retained
+
+
+def test_stats_dict_reports_hit_rate_and_evictions(tmp_path):
+    cache = ResultCache(str(tmp_path), max_bytes=1 << 20)
+    cache.put(_key(0), _pad_record(0))
+    cache.get(_key(0))
+    cache.get(_key(1))
+    cache.get(_key(2))
+    stats = cache.stats_dict()
+    assert stats["hits"] == 1 and stats["misses"] == 2
+    assert abs(stats["hit_rate"] - 1 / 3) < 1e-9
+    assert stats["evictions"] == 0
+    assert stats["max_bytes"] == 1 << 20
+    json.dumps(stats)
+
+
+def test_hit_rate_is_zero_without_lookups(tmp_path):
+    assert ResultCache(str(tmp_path)).stats_dict()["hit_rate"] == 0.0
+
+
+# -- guarded clear -----------------------------------------------------------
+
+
+def test_clear_keep_newer_than_spares_recent_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(_key(0), {"label": "old"})
+    cache.put(_key(1), {"label": "new"})
+    # Age the first entry far past any guard window.
+    old_path = cache.path_for(_key(0))
+    stat = os.stat(old_path)
+    os.utime(old_path, ns=(stat.st_mtime_ns - int(3600e9),
+                           stat.st_mtime_ns - int(3600e9)))
+    removed = cache.clear(keep_newer_than=60.0)
+    assert removed == 1
+    assert cache.keys() == [_key(1)]
+
+
+def test_clear_keep_newer_than_rejects_negative(tmp_path):
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ResultCache(str(tmp_path)).clear(keep_newer_than=-1.0)
+
+
+def test_full_clear_resets_persistent_evictions(tmp_path):
+    cache = ResultCache(str(tmp_path), max_bytes=10)
+    cache.put(_key(0), _pad_record(0))
+    cache.put(_key(1), _pad_record(1))
+    assert cache.total_evictions() == 1
+    cache.clear()
+    assert cache.total_evictions() == 0
