@@ -98,6 +98,88 @@ def _cluster_job():
 PRESETS = {"small": _small_job, "dgx1": _dgx1_job, "cluster": _cluster_job}
 
 
+def _autoplan_workload():
+    """A tiny 2-box cluster and job for the shape-search preset."""
+    from repro.hardware.cluster import Cluster
+    from repro.hardware.device import GPUSpec, HostSpec, NVMeSpec
+    from repro.hardware.links import NVLINK2
+    from repro.hardware.server import Server
+    from repro.hardware.topology import Topology
+    from repro.job import TrainingJob
+    from repro.models.config import TransformerConfig
+    from repro.models.layers import build_model
+    from repro.units import GBps, GiB, TFLOP
+
+    gpu = GPUSpec(name="tiny-gpu", memory_bytes=2 * GiB,
+                  peak_fp32=10 * TFLOP, peak_fp16=80 * TFLOP,
+                  hbm_bandwidth=500 * GBps)
+    topology = Topology(n_gpus=4, kind="direct", nvlink=NVLINK2, adjacency={
+        frozenset((0, 1)): 2, frozenset((0, 2)): 1, frozenset((0, 3)): 1,
+        frozenset((1, 2)): 1, frozenset((1, 3)): 1, frozenset((2, 3)): 2,
+    })
+
+    def box() -> Server:
+        return Server(
+            name="small-4gpu", gpus=[gpu] * 4, topology=topology,
+            host=HostSpec(memory_bytes=64 * GiB, vcpus=16),
+            nvme=NVMeSpec(capacity_bytes=512 * GiB,
+                          read_bandwidth=4 * GBps,
+                          write_bandwidth=3 * GBps),
+        )
+
+    cluster = Cluster(name="2x-small", servers=(box(), box()))
+    model = build_model(TransformerConfig(
+        name="Tiny-6x256", n_layers=6, hidden=256, heads=4,
+        vocab=1000, seq_len=64, max_positions=128,
+    ))
+    job = TrainingJob(model=model, server=cluster.servers[0],
+                      system="dapple", microbatch_size=2,
+                      microbatches_per_minibatch=4, n_minibatches=2,
+                      precision="fp16", mfu=0.5)
+    return job, cluster
+
+
+def _sweep_autoplan() -> dict:
+    """Shape search throughput: exhaustive grid vs pruned frontier.
+
+    Same row schema as the plan-candidate presets — ``full`` fully
+    simulates every valid (tp, dp, pp) shape, ``fast`` runs
+    ``repro.autoplan`` (analytic pricing everywhere, simulation only
+    on the frontier) — so the perf-smoke gate applies unchanged.
+    """
+    from repro.analysis.cluster_scaling import (
+        cluster_scaling_sweep,
+        full_shape_grid,
+        grid_winner,
+    )
+    from repro.autoplan import autoplan
+
+    job, cluster = _autoplan_workload()
+
+    start = time.perf_counter()
+    shapes = full_shape_grid(job, cluster)
+    winner = grid_winner(cluster_scaling_sweep(job, cluster, shapes=shapes))
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = autoplan(job, cluster)
+    fast_seconds = time.perf_counter() - start
+
+    n = len(shapes)
+    return {
+        "preset": "autoplan",
+        "n_candidates": n,
+        "frontier": report.n_simulated,
+        "full_seconds": round(full_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "full_plans_per_second": round(n / full_seconds, 2),
+        "fast_plans_per_second": round(n / fast_seconds, 2),
+        "speedup": round(full_seconds / fast_seconds, 2),
+        "full_best_minibatch_time": winner.minibatch_time,
+        "fast_best_minibatch_time": report.best.minibatch_time,
+    }
+
+
 def _candidate_plans(plan, limit: int = MAX_CANDIDATES):
     """Plan variants around the planner's chosen plan: single-entry
     action flips (recompute <-> cpu-swap) plus single and pair entry
@@ -130,6 +212,8 @@ def _candidate_plans(plan, limit: int = MAX_CANDIDATES):
 
 def sweep(preset: str) -> dict:
     """Evaluate one candidate sweep both ways and report plans/sec."""
+    if preset == "autoplan":
+        return _sweep_autoplan()
     from repro.core.mpress import MPress
     from repro.core.planner import CostModel
     from repro.core.profiler import Profiler
@@ -208,7 +292,7 @@ def test_plans_per_second(once):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", default="all",
-                        choices=sorted(PRESETS) + ["all"])
+                        choices=sorted(PRESETS) + ["autoplan", "all"])
     parser.add_argument("--out", default=None,
                         help="write results as JSON to this path")
     parser.add_argument("--check", default=None,
@@ -218,7 +302,8 @@ def main(argv=None) -> int:
                              "factor vs the baseline")
     args = parser.parse_args(argv)
 
-    names = sorted(PRESETS) if args.preset == "all" else [args.preset]
+    names = (sorted(PRESETS) + ["autoplan"] if args.preset == "all"
+             else [args.preset])
     rows = {}
     for name in names:
         rows[name] = sweep(name)

@@ -1,0 +1,99 @@
+"""End-to-end smoke of the unified auto-parallel planner (the CI
+``autoplan-smoke`` job), on the golden 2x-DGX-1 workload.
+
+Asserts the tentpole acceptance criteria on real hardware scale:
+
+* the CLI (``repro autoplan --json``) runs end-to-end and reports
+  its pruning counters;
+* the frontier fully simulates at most 30% of the valid shape grid;
+* the chosen shape matches the winner of the exhaustive
+  ``analysis.cluster_scaling`` grid sweep over the same shapes;
+* the frontier's cluster tasks are content-addressed identically to
+  the exhaustive sweep's cells, so a cache warmed by autoplan
+  resolves those cells of the exhaustive grid without simulating.
+
+Usage: ``PYTHONPATH=src python scripts/autoplan_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def run_cli(cache_dir: str) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "autoplan",
+         "--model", "gpt-5.3", "--server", "dgx1", "--nodes", "2",
+         "--cache", cache_dir, "--quiet", "--json"],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(out)
+
+
+def main() -> int:
+    from repro.analysis.cluster_scaling import (
+        cluster_scaling_sweep,
+        cluster_scaling_tasks,
+        full_shape_grid,
+        grid_winner,
+    )
+    from repro.hardware.cluster import dgx1_cluster
+    from repro.job import dapple_job
+    from repro.models import gpt_variant
+    from repro.parallel.cluster import shared_chain_memo
+    from repro.runtime import ResultCache, RuntimeConfig, SweepRuntime
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        report = run_cli(cache_dir)
+        counters = report["counters"]
+        best = report["best"]
+        print(f"autoplan: {counters['n_valid']} valid shapes, "
+              f"{counters['n_simulated']} simulated "
+              f"({100 * counters['simulated_fraction']:.0f}%), best "
+              f"(tp={best['tp']}, dp={best['dp']}, pp={best['pp']})")
+        assert counters["n_simulated"] > 0, "frontier must simulate"
+        assert counters["simulated_fraction"] <= 0.30, (
+            f"frontier simulated {counters['simulated_fraction']:.0%} "
+            f"of the valid grid (cap 30%)")
+        assert best["simulated"] and best["ok"], "winner must be simulated"
+
+        # The exhaustive grid over the same cache: every frontier cell
+        # autoplan already simulated must resolve as a cache hit.
+        cluster = dgx1_cluster(2)
+        job = dapple_job(gpt_variant(5.3), cluster.servers[0],
+                         n_minibatches=2)
+        shapes = full_shape_grid(job, cluster)
+        assert len(shapes) == counters["n_valid"], (shapes, counters)
+        runtime = SweepRuntime(RuntimeConfig(cache=ResultCache(cache_dir)))
+        tasks = cluster_scaling_tasks(job, cluster, shapes=shapes)
+        with shared_chain_memo():
+            stats = runtime.run(tasks).summary()
+        print(f"exhaustive grid: {len(tasks)} shapes ({stats})")
+        assert f"cached={counters['n_simulated']}" in stats, (
+            "frontier cells must warm the exhaustive sweep's cache: "
+            + stats)
+        # Re-read the (now fully warmed) cache into scaling cells.
+        cells = cluster_scaling_sweep(job, cluster, shapes=shapes,
+                                      runtime=runtime)
+
+        winner = grid_winner(cells)
+        print(f"exhaustive winner: (tp={winner.tp}, dp={winner.dp}, "
+              f"pp={winner.pp}) at {winner.samples_per_second:.2f} "
+              f"samples/s")
+        assert (best["tp"], best["dp"], best["pp"]) == \
+            (winner.tp, winner.dp, winner.pp), (
+            f"autoplan chose ({best['tp']},{best['dp']},{best['pp']}) "
+            f"but the exhaustive winner is "
+            f"({winner.tp},{winner.dp},{winner.pp})")
+        assert abs(best["samples_per_second"]
+                   - winner.samples_per_second) < 1e-9
+
+    print("autoplan smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

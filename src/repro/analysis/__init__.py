@@ -4,9 +4,14 @@ from repro.analysis.metrics import throughput_summary, speedup
 from repro.analysis.reporting import format_table, format_series
 from repro.analysis.resilience import resilience_sweep
 from repro.analysis.dp_scaling import dp_scaling_sweep
-from repro.analysis.cluster_scaling import cluster_scaling_sweep
+from repro.analysis.cluster_scaling import (
+    cluster_scaling_sweep,
+    full_shape_grid,
+    grid_winner,
+)
 from repro.analysis.service import remote_sweep, remote_sweep_specs
 
 __all__ = ["throughput_summary", "speedup", "format_table", "format_series",
            "resilience_sweep", "dp_scaling_sweep", "cluster_scaling_sweep",
+           "full_shape_grid", "grid_winner",
            "remote_sweep", "remote_sweep_specs"]

@@ -125,6 +125,42 @@ def cluster_scaling_sweep(
     return cells
 
 
+def full_shape_grid(
+    job: TrainingJob,
+    cluster: Cluster,
+    power_of_two: bool = True,
+) -> List[Tuple[int, int, int]]:
+    """Every simulable (tp, dp, pp) shape on the cluster.
+
+    The exhaustive counterpart of :func:`repro.autoplan.autoplan`'s
+    pruned frontier: the same layer-1 candidate generator enumerates
+    and budget-checks the grid, so sweeping these shapes measures
+    exactly the search space the autoplanner prices — the ground
+    truth the ``autoplan-smoke`` CI job compares against.
+    """
+    from repro.autoplan import generate_candidates
+
+    candidates, _ = generate_candidates(job, cluster,
+                                        power_of_two=power_of_two)
+    return [candidate.shape for candidate in candidates]
+
+
+def grid_winner(
+    cells: Sequence[ClusterScalingCell],
+) -> Optional[ClusterScalingCell]:
+    """The best fully simulated cell of a sweep.
+
+    Highest measured samples/s among the ``ok`` cells; exact ties
+    resolve on the ascending shape tuple, the same canonical order
+    the autoplanner ranks with, so winner comparisons are stable.
+    """
+    ok_cells = [cell for cell in cells if cell.ok]
+    if not ok_cells:
+        return None
+    return min(ok_cells, key=lambda cell: (
+        -cell.samples_per_second, (cell.tp, cell.dp, cell.pp)))
+
+
 def to_csv(cells: Sequence[ClusterScalingCell]) -> str:
     """Render cluster-scaling cells as CSV text."""
     buffer = io.StringIO()

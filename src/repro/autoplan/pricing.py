@@ -1,0 +1,176 @@
+"""Layer 2 of the autoplan pipeline: analytic candidate pricing.
+
+Scores a placed shape without running a single simulation, composing
+the primitives the executing layers already trust:
+
+* **chain time** — the pipeline's classic fill-drain bound,
+  ``(microbatches + pp - 1) x bottleneck-stage (fwd + bwd)`` plus the
+  optimizer step, over the candidate's analytically built chain job;
+* **sync planes** — :func:`repro.parallel.sync.price_sync_planes`,
+  the same TP/DP accounting ``run_cluster`` reports, in the
+  *contended* regime: gradient groups crossing the fabric share NIC
+  lanes and the backward half of the TP traffic eats into the DP
+  overlap window (the modeling gap the independent ``_tp_sync`` /
+  ``_dp_sync`` pricing had);
+* **memory pressure** — shapes whose resident demand exceeds the
+  budget pay the cost model's PCIe round-trip primitive
+  (:meth:`repro.core.cost_model.CostModel.cpu_swap_cost` at shape
+  granularity) for the overflow bytes, a stand-in for whatever
+  swap/recompute plan the executor will have to adopt;
+* **placement score** — already folded in, since the candidate
+  generator placed each shape with the scored
+  :func:`~repro.parallel.cluster.cluster_placement`.
+
+The contended price is provably >= the legacy independent price
+(window shrink and lane stretch are monotone in
+``exposed_allreduce_time``), so ranking by it never *hides* a sync
+tail the executor would discover later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hardware.bandwidth import transfer_time
+from repro.hardware.cluster import Cluster
+from repro.job import TrainingJob
+from repro.parallel.cluster import ClusterConfig
+from repro.parallel.sync import SyncPricing, price_sync_planes
+from repro.autoplan.candidates import GiB, ShapeCandidate
+
+
+@dataclass(frozen=True)
+class CandidatePrice:
+    """Analytic score card of one shape (layer-2 output)."""
+
+    tp: int
+    dp: int
+    pp: int
+    sequence_parallel: bool
+    placement_mode: str
+    chain_seconds: float            # fill-drain pipeline estimate
+    exposed_tp_sync: float
+    exposed_allreduce: float        # contended regime
+    independent_sync_seconds: float
+    contended_sync_seconds: float
+    crosses_fabric: bool
+    pressure_seconds: float         # PCIe round trip of overflow bytes
+    peak_demand_bytes: int
+    fits_unaided: bool
+    placement_score: float
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return (self.tp, self.dp, self.pp)
+
+    @property
+    def contention_seconds(self) -> float:
+        """What the legacy independent pricing missed (>= 0)."""
+        return max(0.0, self.contended_sync_seconds
+                   - self.independent_sync_seconds)
+
+    @property
+    def minibatch_seconds(self) -> float:
+        return (self.chain_seconds + self.contended_sync_seconds
+                + self.pressure_seconds)
+
+    def samples_per_second(self, job: TrainingJob) -> float:
+        if self.minibatch_seconds <= 0:
+            return 0.0
+        return self.dp * job.samples_per_minibatch / self.minibatch_seconds
+
+
+def chain_time_estimate(chain_job: TrainingJob) -> float:
+    """Fill-drain bound on one chain's minibatch time.
+
+    ``(M + pp - 1)`` slots of the bottleneck stage's forward+backward,
+    plus the optimizer step — the standard synchronous-pipeline lower
+    bound, evaluated on the identity stage -> device map of a freshly
+    placed chain.
+    """
+    pp = chain_job.n_stages
+    bottleneck = max(
+        chain_job.forward_time(stage, stage)
+        + chain_job.backward_time(stage, stage)
+        for stage in range(pp)
+    )
+    optimizer = max(
+        chain_job.optimizer_time(stage, stage) for stage in range(pp)
+    )
+    slots = chain_job.microbatches_per_minibatch + pp - 1
+    return slots * bottleneck + optimizer
+
+
+def pressure_estimate(candidate: ShapeCandidate, budget_bytes: int) -> float:
+    """Seconds/minibatch of memory pressure above the budget.
+
+    The cost model prices a CPU swap as a PCIe round trip
+    (``2 x transfer_time``); at shape granularity the worst stage's
+    overflow must make that trip once per minibatch.  An analytic
+    stand-in, deliberately pessimistic against recompute/D2D, which
+    the frontier executor's real planning then corrects.
+    """
+    overflow = max(
+        0, max(demand - budget_bytes
+               for demand in candidate.stage_demand_bytes)
+    )
+    if overflow <= 0:
+        return 0.0
+    pcie = candidate.chain_job.server.pcie
+    return 2.0 * transfer_time(overflow, pcie, lanes=1)
+
+
+def price_candidate(
+    job: TrainingJob,
+    cluster: Cluster,
+    candidate: ShapeCandidate,
+    cluster_config: ClusterConfig,
+    budget_bytes: int,
+    flat_server=None,
+) -> CandidatePrice:
+    """Score one placed candidate analytically (no simulation)."""
+    if flat_server is None:
+        flat_server = cluster.as_server()
+    pricing: SyncPricing = price_sync_planes(
+        candidate.placement, cluster.topology, job, cluster_config,
+        flat_server, candidate.chain_job)
+    return CandidatePrice(
+        tp=candidate.tp,
+        dp=candidate.dp,
+        pp=candidate.pp,
+        sequence_parallel=candidate.sequence_parallel,
+        placement_mode=candidate.placement.mode,
+        chain_seconds=chain_time_estimate(candidate.chain_job),
+        exposed_tp_sync=pricing.exposed_tp_sync,
+        exposed_allreduce=pricing.exposed_dp_contended,
+        independent_sync_seconds=pricing.independent_seconds,
+        contended_sync_seconds=pricing.contended_seconds,
+        crosses_fabric=pricing.crosses_fabric,
+        pressure_seconds=pressure_estimate(candidate, budget_bytes),
+        peak_demand_bytes=candidate.peak_demand_bytes,
+        fits_unaided=candidate.fits_unaided,
+        placement_score=candidate.placement.score,
+    )
+
+
+def price_to_json(price: CandidatePrice, job: TrainingJob) -> dict:
+    """Plain-JSON lowering of one score card (CLI/serve reports)."""
+    return {
+        "tp": price.tp,
+        "dp": price.dp,
+        "pp": price.pp,
+        "sequence_parallel": price.sequence_parallel,
+        "placement_mode": price.placement_mode,
+        "chain_seconds": price.chain_seconds,
+        "exposed_tp_sync": price.exposed_tp_sync,
+        "exposed_allreduce": price.exposed_allreduce,
+        "contention_seconds": price.contention_seconds,
+        "crosses_fabric": price.crosses_fabric,
+        "pressure_seconds": price.pressure_seconds,
+        "minibatch_seconds": price.minibatch_seconds,
+        "est_samples_per_second": price.samples_per_second(job),
+        "peak_demand_gib": price.peak_demand_bytes / GiB,
+        "fits_unaided": price.fits_unaided,
+        "placement_score": price.placement_score,
+    }

@@ -223,6 +223,8 @@ def _cmd_plan(args) -> int:
     from repro.core.serialization import save_plan
 
     job = _build_job(args)
+    placement = None
+    cluster = None
     if (getattr(args, "nodes", 1) or 1) > 1 or args.tp > 1:
         from repro.parallel.cluster import ClusterConfig, plan_chain_job
 
@@ -230,22 +232,74 @@ def _cmd_plan(args) -> int:
         config = ClusterConfig(tp=args.tp, dp=args.dp, pp=args.pp,
                                sequence_parallel=args.sp)
         job, placement = plan_chain_job(job, cluster, config)
-        chain = ",".join(str(d) for d in placement.chain(0, 0))
-        print(f"cluster {cluster.name}: tp={placement.tp} dp={placement.dp} "
-              f"pp={placement.pp} ({placement.mode} placement); planning "
-              f"chain [{chain}]")
+        if not args.json:
+            chain = ",".join(str(d) for d in placement.chain(0, 0))
+            print(f"cluster {cluster.name}: tp={placement.tp} "
+                  f"dp={placement.dp} pp={placement.pp} ({placement.mode} "
+                  f"placement); planning chain [{chain}]")
     mpress = MPress(job, PlannerConfig(search=args.search))
     plan = mpress.build_plan()
     report = mpress.planner_report
-    print(plan.summary())
-    print(f"feasible: {report.feasible}; emulated minibatch "
-          f"{report.final_time:.2f}s after {report.refine_iterations} refinements")
-    print(f"search={args.search}: {report.n_full_sims} full simulations, "
-          f"{report.n_fast_path} candidates priced analytically")
+    if args.json:
+        from repro.units import GiB
+
+        payload = {
+            "model": job.model.config.name,
+            "server": job.server.name,
+            "search": args.search,
+            "feasible": report.feasible,
+            "minibatch_seconds": report.final_time,
+            "refine_iterations": report.refine_iterations,
+            "accepted_upgrades": report.accepted_upgrades,
+            "n_full_sims": report.n_full_sims,
+            "n_fast_path": report.n_fast_path,
+            "per_gpu_peak_gib": [
+                peak / GiB for peak in report.profile.stage_peaks],
+            "shape": None,
+        }
+        if placement is not None:
+            payload["shape"] = {
+                "tp": placement.tp, "dp": placement.dp, "pp": placement.pp,
+                "placement_mode": placement.mode,
+                "cluster": cluster.name,
+                "score": placement.score,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(plan.summary())
+        print(f"feasible: {report.feasible}; emulated minibatch "
+              f"{report.final_time:.2f}s after {report.refine_iterations} "
+              f"refinements")
+        print(f"search={args.search}: {report.n_full_sims} full simulations, "
+              f"{report.n_fast_path} candidates priced analytically")
     if args.out:
         save_plan(plan, args.out)
-        print(f"plan written to {args.out}")
+        if not args.json:
+            print(f"plan written to {args.out}")
     return 0 if report.feasible else 1
+
+
+def _cmd_autoplan(args) -> int:
+    """Shape search: rank every (tp, dp, pp) the job could run with."""
+    from repro.autoplan import AutoPlanConfig, autoplan
+
+    job = _build_job(args)
+    cluster = _build_cluster(args, force=True)
+    config = AutoPlanConfig(
+        budget_gib=args.budget_gib,
+        frontier_fraction=args.frontier_fraction,
+        max_frontier=args.max_frontier,
+        sequence_parallel=args.sp,
+    )
+    runtime = _sweep_runtime(args) if (args.jobs > 1 or args.cache) else None
+    report = autoplan(job, cluster, config=config, system=args.system,
+                      runtime=runtime)
+    if args.json:
+        print(report.json_text(job))
+    else:
+        print(report.summary())
+    best = report.best
+    return 0 if best is not None and best.ok else 1
 
 
 def _cmd_zero(args) -> int:
@@ -605,7 +659,39 @@ def build_parser() -> argparse.ArgumentParser:
              "price candidates analytically and simulate only the "
              "frontier (docs/fastpath.md)",
     )
+    plan.add_argument("--json", action="store_true",
+                      help="machine-readable report (shape, score, "
+                           "per-GPU peaks) instead of the summary")
     plan.set_defaults(func=_cmd_plan)
+
+    autoplan = sub.add_parser(
+        "autoplan",
+        help="search the TP x DP x PP shape grid for the best shape")
+    add_job_args(autoplan)
+    autoplan.add_argument("--system", default="mpress", choices=SYSTEMS,
+                          help="per-chain memory-saving system")
+    autoplan.add_argument("--budget-gib", type=float, default=None,
+                          metavar="GIB",
+                          help="per-GPU memory budget (default: the "
+                               "smallest GPU's memory)")
+    autoplan.add_argument("--frontier-fraction", type=float, default=0.25,
+                          metavar="F",
+                          help="share of the valid grid to fully simulate")
+    autoplan.add_argument("--max-frontier", type=int, default=None,
+                          metavar="K",
+                          help="hard cap on simulated shapes")
+    autoplan.add_argument("--sp", action="store_true",
+                          help="shard with sequence parallelism")
+    autoplan.add_argument("--json", action="store_true",
+                          help="machine-readable report (ranked shapes, "
+                               "sync tails, per-GPU peaks, rejections)")
+    autoplan.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for the frontier")
+    autoplan.add_argument("--cache", default=None, metavar="DIR",
+                          help="content-addressed result cache directory")
+    autoplan.add_argument("--quiet", action="store_true",
+                          help="suppress per-task progress lines")
+    autoplan.set_defaults(func=_cmd_autoplan)
 
     zero = sub.add_parser("zero", help="evaluate a ZeRO baseline")
     zero.add_argument("--model", required=True)

@@ -67,6 +67,22 @@ def all_reduce_time(topology: Topology, group: Sequence[int], size_bytes: int,
     return collective_time(schedule, topology, pcie)
 
 
+def group_span(topology, group: Sequence[int]) -> int:
+    """How many servers a collective group touches.
+
+    1 on any single-box topology (including every plain
+    :class:`~repro.hardware.topology.Topology`, which has no server
+    structure at all); > 1 means the group's traffic crosses the
+    fabric and shares its servers' NIC lanes with every other
+    concurrent crossing group — the contention the autoplan pricing
+    layer charges for.
+    """
+    server_of = getattr(topology, "server_of", None)
+    if server_of is None:
+        return 1
+    return len({server_of(device) for device in group})
+
+
 def best_all_reduce(topology: Topology, group: Sequence[int], size_bytes: int,
                     pcie: LinkSpec = PCIE3_X16,
                     algorithms: Optional[Sequence[str]] = None,

@@ -24,6 +24,11 @@ one: D2D stripes avoid parking state on degraded peers, CPU-swap
 cost estimates use the derated PCIe bandwidth, and stage periods use
 the derated compute speed — so congestion/capacity checks run
 against what the hardware will actually deliver.
+
+This planner optimises *within* a fixed parallelism shape (one
+pipeline chain on one server).  Choosing the shape itself — the
+TP x DP x PP point and its placement — is :mod:`repro.autoplan`'s
+job; ``Planner`` is the innermost layer its frontier executor runs.
 """
 
 from __future__ import annotations

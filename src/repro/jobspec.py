@@ -17,6 +17,11 @@ Cluster keys (``nodes``, ``fabric``, ``tp``, ``dp``, ``pp``,
 ``sequence_parallel``) describe a 3D-parallel run; they are ignored by
 :func:`load_job` (which builds the per-replica job) and consumed by
 :func:`cluster_from_spec` / :func:`cluster_config_from_spec`.
+
+``"shape": "auto"`` hands the (tp, dp, pp) choice to the unified
+auto-parallel planner (:mod:`repro.autoplan`) instead of reading the
+explicit degrees; ``budget_gib`` optionally tightens the per-GPU
+memory budget the shape search plans under.
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ _CLUSTER = {
     "dp": 1,
     "pp": 0,
     "sequence_parallel": False,
+    "shape": "explicit",
+    "budget_gib": None,
 }
 _BUILDERS = {"pipedream": pipedream_job, "dapple": dapple_job, "gpipe": gpipe_job}
 
@@ -84,18 +91,21 @@ def load_job(path: str) -> TrainingJob:
     return job_from_spec(spec)
 
 
-def cluster_from_spec(spec: Dict):
+def cluster_from_spec(spec: Dict, force: bool = False):
     """The spec's :class:`~repro.hardware.cluster.Cluster`, or ``None``.
 
     ``None`` when the spec describes a single box with no tensor
-    parallelism — callers fall back to the plain job path.
+    parallelism — callers fall back to the plain job path.  ``force``
+    builds the (one-server) cluster anyway; the autoplan path needs a
+    real cluster even for a single box, since the shape search itself
+    decides whether tensor parallelism pays.
     """
     from repro.cli import SERVERS
     from repro.hardware.cluster import make_cluster
     from repro.hardware.links import FABRICS
 
     nodes = int(spec.get("nodes", 1) or 1)
-    if nodes <= 1 and int(spec.get("tp", 1)) <= 1:
+    if not force and nodes <= 1 and int(spec.get("tp", 1)) <= 1:
         return None
     fabric_name = spec.get("fabric", "ib-edr")
     fabric = FABRICS.get(fabric_name)
@@ -122,6 +132,36 @@ def cluster_config_from_spec(spec: Dict):
     )
 
 
+def autoplan_config_from_spec(spec: Dict):
+    """The spec's :class:`~repro.autoplan.AutoPlanConfig`, or ``None``.
+
+    ``None`` unless the spec says ``"shape": "auto"``.  Explicit
+    parallelism degrees contradict an automatic shape search, so
+    mixing them is an error rather than a silent override.
+    """
+    shape = spec.get("shape", "explicit")
+    if shape not in ("explicit", "auto"):
+        raise ConfigurationError(
+            f"unknown shape {shape!r}; options: ['auto', 'explicit']")
+    if shape != "auto":
+        if spec.get("budget_gib") is not None:
+            raise ConfigurationError(
+                'budget_gib only applies to "shape": "auto" specs')
+        return None
+    for key, default in (("tp", 1), ("dp", 1), ("pp", 0)):
+        if int(spec.get(key, default) or default) != default:
+            raise ConfigurationError(
+                f'"shape": "auto" picks tp/dp/pp itself; drop the '
+                f"explicit {key}={spec[key]}")
+    from repro.autoplan import AutoPlanConfig
+
+    budget = spec.get("budget_gib")
+    return AutoPlanConfig(
+        budget_gib=float(budget) if budget is not None else None,
+        sequence_parallel=bool(spec.get("sequence_parallel", False)),
+    )
+
+
 _TASK = {
     "label": None,
     "system": "mpress",
@@ -140,7 +180,8 @@ def task_from_spec(spec: Dict) -> "SimTask":
     ``faults_seed``/``faults_horizon`` (a seeded random campaign over
     ``n_gpus`` devices), and ``hybrid_dp`` (a DP×PP hybrid run).
     Cluster specs (``nodes``/``tp``/...) lower to cluster tasks, the
-    same split as :func:`cluster_from_spec`.
+    same split as :func:`cluster_from_spec`; ``"shape": "auto"``
+    specs lower to autoplan tasks (the shape search picks tp/dp/pp).
     """
     from repro.faults.spec import random_schedule
     from repro.runtime.task import SimTask
@@ -151,9 +192,14 @@ def task_from_spec(spec: Dict) -> "SimTask":
     task_keys = {key: spec.pop(key, default)
                  for key, default in _TASK.items()}
     job = job_from_spec(spec)
-    cluster = cluster_from_spec(spec)
-    cluster_config = cluster_config_from_spec(spec) if cluster is not None \
-        else None
+    autoplan = autoplan_config_from_spec(spec)
+    if autoplan is not None:
+        cluster = cluster_from_spec(spec, force=True)
+        cluster_config = None
+    else:
+        cluster = cluster_from_spec(spec)
+        cluster_config = cluster_config_from_spec(spec) \
+            if cluster is not None else None
     system = task_keys["system"]
     faults = None
     if task_keys["faults_seed"] is not None:
@@ -170,6 +216,8 @@ def task_from_spec(spec: Dict) -> "SimTask":
     label = task_keys["label"]
     if label is None:
         label = f"{spec['model']}/{spec['server']}/{system}"
+        if autoplan is not None:
+            label += "/shape=auto"
         if cluster_config is not None:
             label += (f"/tp={cluster_config.tp},dp={cluster_config.dp},"
                       f"pp={cluster_config.pp}")
@@ -179,7 +227,7 @@ def task_from_spec(spec: Dict) -> "SimTask":
             label += f"/faults={int(task_keys['faults_seed'])}"
     return SimTask(label=label, job=job, system=system, faults=faults,
                    hybrid=hybrid, cluster=cluster,
-                   cluster_config=cluster_config)
+                   cluster_config=cluster_config, autoplan=autoplan)
 
 
 def job_to_spec(job: TrainingJob, model_spec: str, server_name: str) -> Dict:

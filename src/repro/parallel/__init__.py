@@ -27,6 +27,12 @@ from repro.parallel.placement import (
     replica_placement,
     sub_server,
 )
+from repro.parallel.sync import (
+    SyncPricing,
+    dp_sync_plane,
+    price_sync_planes,
+    tp_sync_plane,
+)
 from repro.parallel.tensor import TPLayerSpec, tp_shard_model, tp_sync_time
 from repro.parallel.cluster import (
     CLUSTER_PLACEMENT_MODES,
@@ -34,8 +40,10 @@ from repro.parallel.cluster import (
     ClusterPlacement,
     ClusterResult,
     StageTPSync,
+    chain_server,
     cluster_placement,
     run_cluster,
+    shared_chain_memo,
 )
 
 __all__ = [
@@ -54,11 +62,17 @@ __all__ = [
     "TPLayerSpec",
     "tp_shard_model",
     "tp_sync_time",
+    "SyncPricing",
+    "dp_sync_plane",
+    "price_sync_planes",
+    "tp_sync_plane",
     "CLUSTER_PLACEMENT_MODES",
     "ClusterConfig",
     "ClusterPlacement",
     "ClusterResult",
     "StageTPSync",
+    "chain_server",
     "cluster_placement",
     "run_cluster",
+    "shared_chain_memo",
 ]

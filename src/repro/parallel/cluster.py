@@ -27,29 +27,33 @@ analytic collective model.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.serialization import canonical_payload, config_digest
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster, ClusterTopology
 from repro.job import TrainingJob
 from repro.collectives.cost import all_reduce_time, pair_transfer_time
 from repro.collectives.schedule import ALL_REDUCE_ALGORITHMS
-from repro.parallel.bucketing import gradient_buckets, exposed_allreduce_time
 from repro.parallel.hybrid import (
     COLLECTIVE_MODES,
     DEFAULT_BUCKET_BYTES,
     StageAllReduce,
-    _bucket_times,
 )
 from repro.parallel.placement import (
     REFERENCE_ALLREDUCE_BYTES,
     REFERENCE_BOUNDARY_BYTES,
     sub_server,
 )
-from repro.parallel.tensor import tp_shard_model, tp_sync_time
+from repro.parallel.sync import StageTPSync, dp_sync_plane, tp_sync_plane
+from repro.parallel.tensor import tp_shard_model
 
 CLUSTER_PLACEMENT_MODES = ("auto", "packed", "spread")
+
+_MODE_RANK = {mode: rank for rank, mode in
+              enumerate(CLUSTER_PLACEMENT_MODES[1:])}
 
 
 @dataclass(frozen=True)
@@ -108,6 +112,7 @@ class ClusterPlacement:
     tp_score: float            # analytic seconds, reference TP all-reduces
     allreduce_score: float     # analytic seconds, reference DP buckets
     pipeline_score: float      # analytic seconds, adjacent-stage p2p
+    stage_major: bool = True   # within-block assignment (TP-tight?)
 
     @property
     def dp(self) -> int:
@@ -135,6 +140,23 @@ class ClusterPlacement:
     @property
     def score(self) -> float:
         return self.tp_score + self.allreduce_score + self.pipeline_score
+
+    @property
+    def canonical_key(self) -> Tuple:
+        """Total order used to break score ties deterministically.
+
+        Equal-scored layouts resolve by mode (packed before spread),
+        then within-block assignment (stage-major before chain-major),
+        then the chain tuple itself — the same preference order the
+        historical first-wins scan encoded implicitly, but stable by
+        construction across runs and Python versions.
+        """
+        return (
+            self.score,
+            _MODE_RANK.get(self.mode, len(_MODE_RANK)),
+            0 if self.stage_major else 1,
+            self.chains,
+        )
 
 
 def _block_chains(block: Sequence[int], tp: int, pp: int, stage_major: bool
@@ -234,7 +256,7 @@ def cluster_placement(topology: ClusterTopology, tp: int, dp: int, pp: int,
             f"one server (largest has "
             f"{max(t.n_gpus for t in topology.servers)})")
     wanted = CLUSTER_PLACEMENT_MODES[1:] if mode == "auto" else (mode,)
-    best: Optional[ClusterPlacement] = None
+    candidates: List[ClusterPlacement] = []
     for name in wanted:
         blocks = _replica_blocks(topology, tp, dp, pp, spread=(name == "spread"))
         if blocks is None:
@@ -244,26 +266,17 @@ def cluster_placement(topology: ClusterTopology, tp: int, dp: int, pp: int,
                 _block_chains(block, tp, pp, stage_major) for block in blocks
             )
             tp_s, ar_s, pipe_s = _score_cluster_layout(topology, chains)
-            candidate = ClusterPlacement(
+            candidates.append(ClusterPlacement(
                 chains=chains, mode=name, tp_score=tp_s,
-                allreduce_score=ar_s, pipeline_score=pipe_s)
-            if best is None or candidate.score < best.score:
-                best = candidate
-    if best is None:
+                allreduce_score=ar_s, pipeline_score=pipe_s,
+                stage_major=stage_major))
+    if not candidates:
         raise ConfigurationError(
             f"no placement fits tp={tp} dp={dp} pp={pp} on this cluster "
             f"(mode={mode!r})")
-    return best
-
-
-@dataclass(frozen=True)
-class StageTPSync:
-    """Tensor-parallel collective accounting for one pipeline stage."""
-
-    stage: int
-    n_groups: int
-    microbatch_seconds: float   # TP all-reduce time, one microbatch fwd+bwd
-    minibatch_seconds: float    # x microbatches per minibatch
+    # min() over the canonical key, not a first-wins scan: equal scores
+    # resolve to the same layout on every run and Python version.
+    return min(candidates, key=lambda candidate: candidate.canonical_key)
 
 
 @dataclass
@@ -364,8 +377,8 @@ class ClusterResult:
         return peaks
 
 
-def _chain_server(cluster: Cluster, topology: ClusterTopology,
-                  devices: Tuple[int, ...]):
+def chain_server(cluster: Cluster, topology: ClusterTopology,
+                 devices: Tuple[int, ...]):
     """The sub-server one pipeline chain sees (always within one box)."""
     server_index = topology.server_of(devices[0])
     base = topology.server_offsets()[server_index]
@@ -373,72 +386,51 @@ def _chain_server(cluster: Cluster, topology: ClusterTopology,
     return sub_server(cluster.servers[server_index], local)
 
 
-def _tp_sync(placement: ClusterPlacement, topology: ClusterTopology,
-             job: TrainingJob, config: ClusterConfig,
-             representative) -> List[StageTPSync]:
-    """Per-stage TP collective accounting (worst group per stage)."""
-    if placement.tp < 2:
-        return []
-    plan = representative.job.stage_plan
-    algorithm = config.algorithm if config.algorithm != "auto" else "ring"
-    syncs: List[StageTPSync] = []
-    for stage in range(placement.pp):
-        worst = 0.0
-        for replica in range(placement.dp):
-            group = placement.tp_group(replica, stage)
-            seconds = tp_sync_time(
-                plan.stage(stage).layers, topology, group,
-                job.microbatch_size, job.bytes_per_element,
-                algorithm=algorithm)
-            worst = max(worst, seconds)
-        per_minibatch = worst * job.microbatches_per_minibatch
-        syncs.append(StageTPSync(
-            stage=stage,
-            n_groups=placement.dp,
-            microbatch_seconds=worst,
-            minibatch_seconds=per_minibatch,
-        ))
-    return syncs
+# Backward-compatible alias (pre-autoplan private name).
+_chain_server = chain_server
 
 
-def _dp_sync(placement: ClusterPlacement, topology: ClusterTopology,
-             job: TrainingJob, config: ClusterConfig, server,
-             representative) -> List[StageAllReduce]:
-    """Per-(tp-rank, stage) gradient sync; report the worst per stage."""
-    if placement.dp < 2:
-        return []
-    schedule = representative.job.schedule
-    last_minibatch = representative.job.n_minibatches - 1
-    syncs: List[StageAllReduce] = []
-    for stage in range(placement.pp):
-        grad_bytes = (representative.job.stage_plan.stage(stage).params
-                      * job.bytes_per_element)
-        if grad_bytes <= 0:
-            continue
-        buckets = gradient_buckets(grad_bytes, config.bucket_bytes)
-        drain = schedule.backward_drain(stage, last_minibatch)
-        device = representative.plan.device_of(stage)
-        window = drain * representative.job.backward_time(stage, device)
-        worst: Optional[StageAllReduce] = None
-        for tp_rank in range(placement.tp):
-            group = placement.dp_group(tp_rank, stage)
-            times, algorithm = _bucket_times(topology, group, buckets,
-                                             config, server)
-            exposed = exposed_allreduce_time(buckets, times, window,
-                                             overlap=config.overlap)
-            candidate = StageAllReduce(
-                stage=stage,
-                devices=group,
-                algorithm=algorithm,
-                grad_bytes=grad_bytes,
-                n_buckets=len(buckets),
-                allreduce_seconds=float(sum(times)),
-                exposed_seconds=exposed,
-            )
-            if worst is None or candidate.exposed_seconds > worst.exposed_seconds:
-                worst = candidate
-        syncs.append(worst)
-    return syncs
+# -- congruent-chain memoisation ---------------------------------------
+#
+# Placed chains are frequently *congruent*: same sharded model, same
+# batch geometry, same induced carve-out topology — only the
+# sub-server's display name (which devices it was cut from) differs.
+# The simulator is deterministic, so congruent chains produce
+# byte-identical results (records embed no server names; trace digests
+# hash device-indexed events).  One simulation per congruence class is
+# the "one Lowering skeleton per shape family" the frontier executor
+# relies on; ``shared_chain_memo`` widens the reuse window across
+# ``run_cluster`` calls (e.g. a whole shape grid).
+
+_SHARED_CHAIN_MEMO: Optional[Dict[str, object]] = None
+
+
+@contextlib.contextmanager
+def shared_chain_memo():
+    """Share congruent-chain results across ``run_cluster`` calls.
+
+    Nested uses join the outermost scope's memo; the memo dies with
+    the scope, so long-running processes don't accumulate results.
+    """
+    global _SHARED_CHAIN_MEMO
+    outer = _SHARED_CHAIN_MEMO
+    if outer is None:
+        _SHARED_CHAIN_MEMO = {}
+    try:
+        yield _SHARED_CHAIN_MEMO
+    finally:
+        _SHARED_CHAIN_MEMO = outer
+
+
+def _chain_memo_key(chain_job: TrainingJob, system: str, reserve: int) -> str:
+    """Congruence class of one chain run (sub-server name stripped)."""
+    normalized = replace(chain_job,
+                         server=replace(chain_job.server, name="chain"))
+    return config_digest({
+        "job": canonical_payload(normalized),
+        "system": system,
+        "reserve": reserve,
+    })
 
 
 def plan_chain_job(job: TrainingJob, cluster: Cluster,
@@ -459,7 +451,7 @@ def plan_chain_job(job: TrainingJob, cluster: Cluster,
     sharded = tp_shard_model(job.model, config.tp, config.sequence_parallel)
     devices = placement.chain(0, 0)
     chain = replace(job, model=sharded,
-                    server=_chain_server(cluster, topology, devices))
+                    server=chain_server(cluster, topology, devices))
     return chain, placement
 
 
@@ -484,20 +476,27 @@ def run_cluster(job: TrainingJob, cluster: Cluster,
     sharded = tp_shard_model(job.model, config.tp, config.sequence_parallel)
     reserve = 2 * config.bucket_bytes if config.dp > 1 else 0
     flat_server = cluster.as_server()
+    memo = _SHARED_CHAIN_MEMO if _SHARED_CHAIN_MEMO is not None else {}
     chains: List[List] = []
     for replica in range(config.dp):
         replica_chains = []
         for tp_rank in range(config.tp):
             devices = placement.chain(replica, tp_rank)
             chain_job = replace(job, model=sharded,
-                                server=_chain_server(cluster, topology, devices))
-            replica_chains.append(
-                run_system(chain_job, system, reserve_bytes=reserve))
+                                server=chain_server(cluster, topology, devices))
+            key = _chain_memo_key(chain_job, system, reserve)
+            result = memo.get(key)
+            if result is None:
+                result = run_system(chain_job, system, reserve_bytes=reserve)
+                memo[key] = result
+            replica_chains.append(result)
         chains.append(replica_chains)
     representative = chains[0][0]
-    tp_sync = _tp_sync(placement, topology, job, config, representative)
-    dp_sync = _dp_sync(placement, topology, job, config, flat_server,
-                       representative)
+    tp_sync = tp_sync_plane(placement, topology, job, config,
+                            representative.job)
+    dp_sync = dp_sync_plane(placement, topology, job, config, flat_server,
+                            representative.job,
+                            representative.plan.device_of)
     return ClusterResult(job=job, cluster=cluster, config=config,
                          system=system, placement=placement, chains=chains,
                          stage_allreduce=dp_sync, tp_sync=tp_sync)

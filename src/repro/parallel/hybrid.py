@@ -20,6 +20,10 @@ Modelling choices, deliberately explicit:
   for double-buffered bucket staging (wired through
   ``Planner(reserve_bytes=...)``), and the same reserve is added to
   the reported per-GPU peaks.
+
+``run_hybrid`` (like ``run_cluster``) executes one *given* shape;
+:mod:`repro.autoplan` searches the shape grid and calls into these
+facades only for its simulated frontier.
 """
 
 from __future__ import annotations

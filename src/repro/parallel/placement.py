@@ -16,7 +16,7 @@ sizes — cheap enough to run inside the planner.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.server import Server
@@ -56,6 +56,16 @@ class ReplicaPlacement:
     @property
     def score(self) -> float:
         return self.allreduce_score + self.pipeline_score
+
+    @property
+    def canonical_key(self) -> Tuple:
+        """Total order for deterministic tie-breaking.
+
+        Equal scores resolve alphabetically by mode, then by the group
+        tuple — matching the historical first-wins scan over
+        ``sorted(layouts)`` while making the preference explicit.
+        """
+        return (self.score, self.mode, self.groups)
 
 
 def _candidate_layouts(topology: Topology, dp: int
@@ -127,16 +137,16 @@ def replica_placement(topology: Topology, dp: int,
                 f"placement mode {mode!r} unavailable on this topology "
                 f"(candidates: {sorted(layouts)})")
         layouts = {mode: layouts[mode]}
-    best: Optional[ReplicaPlacement] = None
+    candidates = []
     for name in sorted(layouts):
         groups = layouts[name]
         allreduce, pipeline = _score_layout(topology, groups)
-        candidate = ReplicaPlacement(groups=groups, mode=name,
-                                     allreduce_score=allreduce,
-                                     pipeline_score=pipeline)
-        if best is None or candidate.score < best.score:
-            best = candidate
-    return best
+        candidates.append(ReplicaPlacement(groups=groups, mode=name,
+                                           allreduce_score=allreduce,
+                                           pipeline_score=pipeline))
+    # min() over the canonical key: score ties resolve to the same
+    # layout on every run and Python version.
+    return min(candidates, key=lambda candidate: candidate.canonical_key)
 
 
 def sub_server(server: Server, devices: Sequence[int]) -> Server:

@@ -125,6 +125,24 @@ def tp_shard_model(model: ModelSpec, tp: int,
     return ModelSpec(config=cfg, layers=layers)
 
 
+def valid_tp_degrees(model: ModelSpec, limit: int) -> Sequence[int]:
+    """Power-of-two TP degrees ``model`` can shard to, up to ``limit``.
+
+    The shard constraints mirror :func:`tp_shard_model`: the degree
+    must divide the hidden dimension and not exceed the attention head
+    count.  The autoplan candidate generator uses this to skip degrees
+    that could never shard (1 is always valid).
+    """
+    cfg = model.config
+    degrees = []
+    tp = 1
+    while tp <= limit:
+        if cfg.hidden % tp == 0 and tp <= cfg.heads:
+            degrees.append(tp)
+        tp *= 2
+    return degrees
+
+
 def tp_sync_time(layers: Sequence[LayerSpec], topology, group: Sequence[int],
                  microbatch: int, bytes_per_element: int = 2,
                  algorithm: str = "ring", pcie=None) -> float:

@@ -35,6 +35,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.autoplan.search import AutoPlanConfig
 from repro.core.plan import MemorySavingPlan
 from repro.core.planner import PlannerConfig
 from repro.core.serialization import (
@@ -74,7 +75,10 @@ class SimTask:
     names the per-replica memory system and the hybrid layer adds
     gradient synchronisation on top.  When ``cluster`` is set (with a
     ``cluster_config``) the task runs ``run_cluster`` over that
-    multi-server fabric instead of ``job.server``.
+    multi-server fabric instead of ``job.server``.  When ``autoplan``
+    is set the task is a *shape search*: ``run_cluster`` picks the
+    TP x DP x PP shape itself over ``cluster`` (no ``cluster_config``
+    — the search's whole point is that none was chosen).
     """
 
     label: str
@@ -87,6 +91,7 @@ class SimTask:
     hybrid: Optional[HybridConfig] = None
     cluster: Optional[Cluster] = None
     cluster_config: Optional[ClusterConfig] = None
+    autoplan: Optional[AutoPlanConfig] = None
 
     def __post_init__(self) -> None:
         known = _SYSTEMS + _ZERO_SYSTEMS
@@ -111,7 +116,17 @@ class SimTask:
                 raise ConfigurationError(
                     "hybrid tasks take no planner config, plan, or faults"
                 )
-        if (self.cluster is None) != (self.cluster_config is None):
+        if self.autoplan is not None:
+            if self.cluster is None:
+                raise ConfigurationError(
+                    "autoplan tasks need a Cluster (the shape search space)"
+                )
+            if self.cluster_config is not None:
+                raise ConfigurationError(
+                    "autoplan tasks pick the shape themselves; drop the "
+                    "explicit ClusterConfig"
+                )
+        elif (self.cluster is None) != (self.cluster_config is None):
             raise ConfigurationError(
                 "cluster tasks need both a Cluster and a ClusterConfig"
             )
@@ -163,6 +178,10 @@ class SimTask:
             # keys, so every single-server payload stays byte-identical.
             payload["cluster"] = canonical_payload(self.cluster)
             payload["cluster_config"] = canonical_payload(self.cluster_config)
+        if self.autoplan is not None:
+            # Gated like the keys above: only shape-search tasks carry
+            # it, so every pre-autoplan content address is unchanged.
+            payload["autoplan"] = canonical_payload(self.autoplan)
         return payload
 
     def cache_key(self) -> str:
@@ -192,6 +211,8 @@ def execute_task(task: SimTask) -> Dict:
     """
     if task.is_zero:
         return _execute_zero(task)
+    if task.autoplan is not None:
+        return _execute_autoplan(task)
     if task.cluster is not None:
         return _execute_cluster(task)
     if task.hybrid is not None:
@@ -308,6 +329,44 @@ def _execute_hybrid(task: SimTask) -> Dict:
                 for replica in result.replicas
             ],
         },
+    }
+
+
+def _execute_autoplan(task: SimTask) -> Dict:
+    """Run a shape search and record the winner plus the full ranking.
+
+    Top-level metrics mirror the winning shape's cluster record (so
+    CSV export and sweep tables read autoplan cells like any other);
+    the ``autoplan`` sub-dict carries the ranked report, rejection
+    reasons and pruning counters.
+    """
+    from repro.autoplan import autoplan as run_autoplan
+
+    report = run_autoplan(task.job, task.cluster, config=task.autoplan,
+                          system=task.system)
+    best = report.best
+    winner = best.record if best is not None else None
+    ok = winner is not None and bool(winner["ok"])
+    return {
+        "version": RECORD_VERSION,
+        "label": task.label,
+        "system": task.system,
+        "ok": ok,
+        "oom": winner["oom"] if winner is not None else None,
+        "tflops": winner["tflops"] if ok else 0.0,
+        "samples_per_second": winner["samples_per_second"] if ok else 0.0,
+        "minibatch_time": winner["minibatch_time"] if ok else 0.0,
+        "makespan": winner["makespan"] if ok else 0.0,
+        "peak_bytes_per_gpu": (
+            list(winner["peak_bytes_per_gpu"]) if ok else []
+        ),
+        "feasible": winner["feasible"] if winner is not None else None,
+        "plan": None,
+        "trace_digest": winner["trace_digest"] if winner is not None else None,
+        "n_trace_events": winner["n_trace_events"] if winner is not None else 0,
+        "resilience": None,
+        "zero": None,
+        "autoplan": report.to_json(task.job),
     }
 
 

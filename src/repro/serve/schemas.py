@@ -9,8 +9,15 @@ submission shapes exist::
     {"tenant": "bob", "tasks": [
         {"model": "bert-0.35", "server": "dgx1", "system": "mpress"},
         {"model": "gpt-5.3", "server": "dgx1", "system": "recomputation",
-         "nodes": 2, "tp": 2, "dp": 2}
+         "nodes": 2, "tp": 2, "dp": 2},
+        {"model": "gpt-5.3", "server": "dgx1", "nodes": 2, "shape": "auto"}
     ]}
+
+``"shape": "auto"`` tasks run the autoplan shape search
+(:mod:`repro.autoplan`) server-side; the record carries the ranked
+report under ``"autoplan"`` and the winner's metrics at top level,
+and the search's frontier shapes share the tenant-wide result cache
+with explicit-shape sweeps of the same grid.
 
 Validation errors raise :class:`~repro.errors.ConfigurationError`,
 which the HTTP layer maps to a 400 with the message in the body.

@@ -16,6 +16,7 @@ import os
 
 import pytest
 
+from repro.autoplan import AutoPlanConfig
 from repro.core.planner import PlannerConfig
 from repro.faults.spec import random_schedule
 from repro.hardware.cluster import dgx1_cluster
@@ -61,6 +62,18 @@ def corpus():
         system="zero-infinity")
     tasks["spec/bert-0.35/dgx1/none"] = task_from_spec(
         {"model": "bert-0.35", "server": "dgx1", "system": "none"})
+    tasks["autoplan/gpt-5.3/2xdgx1/default"] = SimTask(
+        label="corpus",
+        job=dapple_job(gpt_variant(5.3), dgx1_server(), n_minibatches=2),
+        system="mpress", cluster=dgx1_cluster(2), autoplan=AutoPlanConfig())
+    tasks["autoplan/gpt-5.3/2xdgx1/budget12"] = SimTask(
+        label="corpus",
+        job=dapple_job(gpt_variant(5.3), dgx1_server(), n_minibatches=2),
+        system="mpress", cluster=dgx1_cluster(2),
+        autoplan=AutoPlanConfig(budget_gib=12.0, max_frontier=4))
+    tasks["spec/gpt-5.3/2xdgx1/shape-auto"] = task_from_spec(
+        {"model": "gpt-5.3", "server": "dgx1", "nodes": 2, "shape": "auto",
+         "budget_gib": 16, "n_minibatches": 2})
     return tasks
 
 
@@ -87,6 +100,7 @@ def test_corpus_covers_every_task_shape():
     assert any(t.faults is not None for t in tasks)
     assert any(t.hybrid is not None for t in tasks)
     assert any(t.cluster is not None for t in tasks)
+    assert any(t.autoplan is not None for t in tasks)
     assert any(t.is_zero for t in tasks)
 
 

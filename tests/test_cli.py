@@ -363,3 +363,70 @@ class TestServeCommand:
         ])
         assert args.cache == "/tmp/c"
         assert args.cache_max_mib == 64.0
+
+
+class TestAutoplanCommand:
+    def test_registered_in_help(self):
+        assert "autoplan" in build_parser().format_help()
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["autoplan", "--model", "bert-0.35"])
+        assert args.system == "mpress"
+        assert args.budget_gib is None
+        assert args.frontier_fraction == 0.25
+        assert args.max_frontier is None
+        assert not args.json
+
+    def test_autoplan_run(self, capsys):
+        code = main([
+            "autoplan", "--model", "bert-0.35", "--max-frontier", "1",
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "autoplan over" in out
+        assert "simulated" in out
+
+    def test_autoplan_json(self, capsys):
+        code = main([
+            "autoplan", "--model", "bert-0.35", "--max-frontier", "1",
+            "--quiet", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["best"]["simulated"] is True
+        assert payload["counters"]["n_simulated"] == 1
+        assert payload["ranked"]
+        for key in ("tp", "dp", "pp", "samples_per_second",
+                    "exposed_allreduce", "peak_demand_gib"):
+            assert key in payload["best"]
+
+    def test_infeasible_budget_fails(self, capsys):
+        code = main([
+            "autoplan", "--model", "gpt-5.3", "--budget-gib", "0.001",
+            "--quiet",
+        ])
+        assert code == 1
+        assert "rejected" in capsys.readouterr().out
+
+
+class TestPlanJson:
+    def test_plan_json(self, capsys):
+        code = main(["plan", "--model", "bert-0.35", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["feasible"] is True
+        assert payload["shape"] is None
+        assert len(payload["per_gpu_peak_gib"]) == 8
+
+    def test_plan_json_cluster_shape(self, capsys):
+        code = main([
+            "plan", "--model", "gpt-5.3", "--nodes", "2", "--tp", "2",
+            "--dp", "2", "--pp", "2", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        shape = payload["shape"]
+        assert (shape["tp"], shape["dp"], shape["pp"]) == (2, 2, 2)
+        assert shape["cluster"] == "2x-dgx1"
+        assert shape["score"] > 0
