@@ -180,6 +180,61 @@ def _sweep_autoplan() -> dict:
     }
 
 
+def _sweep_inference() -> dict:
+    """Serving replay throughput: reference interpreter vs fast path.
+
+    Same row schema as the plan-candidate presets — the candidates are
+    lowered continuous-batching serving programs (KV overflow policies
+    x workload seeds); ``full`` replays each on the event-driven
+    reference interpreter and ``fast`` through
+    ``repro.sim.fastpath.run_program``.  The two produce bit-identical
+    traces (tests/test_inference_serving.py), so the columns differ
+    only in replay speed.
+    """
+    from repro.hardware.server import dgx1_server
+    from repro.inference import InferenceConfig, build_serving_program
+    from repro.models import gpt_variant
+    from repro.sim.fastpath import run_program
+    from repro.sim.interpreter import Interpreter
+
+    model = gpt_variant(5.3)
+    server = dgx1_server()
+    base = InferenceConfig(
+        n_requests=10, arrival_rate=32.0, prompt_mean=128, prompt_max=256,
+        output_mean=24, output_max=64, max_batch=6, kv_pool_mib=199)
+    programs = [
+        build_serving_program(
+            model, server,
+            dataclasses.replace(base, seed=seed, kv_swap=mode))[0]
+        for mode in ("d2d", "pcie", "none")
+        for seed in range(4)
+    ]
+
+    start = time.perf_counter()
+    full_best = min(
+        Interpreter(program).run().minibatch_time for program in programs)
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast_best = min(
+        run_program(program).minibatch_time for program in programs)
+    fast_seconds = time.perf_counter() - start
+
+    n = len(programs)
+    return {
+        "preset": "inference",
+        "n_candidates": n,
+        "frontier": n,
+        "full_seconds": round(full_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "full_plans_per_second": round(n / full_seconds, 2),
+        "fast_plans_per_second": round(n / fast_seconds, 2),
+        "speedup": round(full_seconds / fast_seconds, 2),
+        "full_best_minibatch_time": full_best,
+        "fast_best_minibatch_time": fast_best,
+    }
+
+
 def _candidate_plans(plan, limit: int = MAX_CANDIDATES):
     """Plan variants around the planner's chosen plan: single-entry
     action flips (recompute <-> cpu-swap) plus single and pair entry
@@ -214,6 +269,8 @@ def sweep(preset: str) -> dict:
     """Evaluate one candidate sweep both ways and report plans/sec."""
     if preset == "autoplan":
         return _sweep_autoplan()
+    if preset == "inference":
+        return _sweep_inference()
     from repro.core.mpress import MPress
     from repro.core.planner import CostModel
     from repro.core.profiler import Profiler
@@ -292,7 +349,8 @@ def test_plans_per_second(once):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", default="all",
-                        choices=sorted(PRESETS) + ["autoplan", "all"])
+                        choices=sorted(PRESETS) + ["autoplan", "inference",
+                                                   "all"])
     parser.add_argument("--out", default=None,
                         help="write results as JSON to this path")
     parser.add_argument("--check", default=None,
@@ -302,8 +360,8 @@ def main(argv=None) -> int:
                              "factor vs the baseline")
     args = parser.parse_args(argv)
 
-    names = (sorted(PRESETS) + ["autoplan"] if args.preset == "all"
-             else [args.preset])
+    names = (sorted(PRESETS) + ["autoplan", "inference"]
+             if args.preset == "all" else [args.preset])
     rows = {}
     for name in names:
         rows[name] = sweep(name)

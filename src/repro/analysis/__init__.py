@@ -10,8 +10,9 @@ from repro.analysis.cluster_scaling import (
     grid_winner,
 )
 from repro.analysis.service import remote_sweep, remote_sweep_specs
+from repro.analysis.serving_sweep import serving_sweep
 
 __all__ = ["throughput_summary", "speedup", "format_table", "format_series",
            "resilience_sweep", "dp_scaling_sweep", "cluster_scaling_sweep",
            "full_shape_grid", "grid_winner",
-           "remote_sweep", "remote_sweep_specs"]
+           "remote_sweep", "remote_sweep_specs", "serving_sweep"]

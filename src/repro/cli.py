@@ -8,6 +8,7 @@ Examples::
     python -m repro plan --model gpt-20.4 --server dgx1 --out plan.json
     python -m repro zero --model gpt-25.5 --server dgx2 --variant infinity
     python -m repro capacity --family bert --server dgx1 --system recomputation
+    python -m repro serve-sim --model gpt-5.3 --server dgx1 --kv-swap d2d
 """
 
 from __future__ import annotations
@@ -78,10 +79,12 @@ def _build_cluster(args, force: bool = False):
 
 
 def _require_single_node(args, command: str) -> None:
-    if (getattr(args, "nodes", 1) or 1) > 1:
+    nodes = getattr(args, "nodes", 1) or 1
+    if nodes > 1:
         raise ConfigurationError(
-            f"'{command}' simulates one server; use 'hybrid --nodes N' "
-            f"or 'sweep' for cluster runs")
+            f"'{command}' simulates one server, but --nodes {nodes} asks "
+            f"for a cluster; drop --nodes, or use 'hybrid --nodes {nodes}' "
+            f"or 'sweep --nodes {nodes}' for cluster runs")
 
 
 def _build_job(args) -> TrainingJob:
@@ -551,6 +554,50 @@ def _cmd_sweep(args) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_serve_sim(args) -> int:
+    """Simulate one LLM-serving episode (continuous batching + KV paging)."""
+    from repro.inference import InferenceConfig, run_serving
+
+    model = _parse_model(args.model)
+    server = _build_server(args.server)
+    config = InferenceConfig(
+        seed=args.seed,
+        n_requests=args.requests,
+        arrival_rate=args.arrival_rate,
+        prompt_mean=args.prompt_mean,
+        output_mean=args.output_mean,
+        block_tokens=args.block_tokens,
+        max_batch=args.max_batch,
+        pp=args.pp,
+        kv_swap=args.kv_swap,
+        kv_pool_mib=args.kv_pool_mib,
+    )
+    outcome = run_serving(model, server, config)
+    metrics = outcome.metrics
+    if args.json:
+        print(json.dumps(metrics.to_json(), indent=2, sort_keys=True))
+        return 0 if outcome.simulation.ok else 1
+    status = "ok" if outcome.simulation.ok else "OUT OF MEMORY"
+    print(f"{model.config.name} serving on {server.name} "
+          f"(kv_swap={config.kv_swap}, pp={config.pp}): {status}")
+    print(f"  {metrics.n_requests} requests, {metrics.n_iterations} "
+          f"iterations, {metrics.total_output_tokens} tokens in "
+          f"{metrics.makespan:.3f}s ({metrics.tokens_per_second:.1f} "
+          f"tokens/sec)")
+    print(f"  TTFT p50/p95/p99: {metrics.ttft_p50 * 1e3:.2f} / "
+          f"{metrics.ttft_p95 * 1e3:.2f} / {metrics.ttft_p99 * 1e3:.2f} ms")
+    print(f"  TPOT p50/p95/p99: {metrics.tpot_p50 * 1e3:.2f} / "
+          f"{metrics.tpot_p95 * 1e3:.2f} / {metrics.tpot_p99 * 1e3:.2f} ms")
+    print(f"  KV spill: {fmt_bytes(metrics.swapped_bytes)} across "
+          f"{metrics.swapped_requests} requests; decode stall "
+          f"{metrics.decode_stall_seconds * 1e3:.3f} ms; "
+          f"{metrics.preemptions} preemptions")
+    if metrics.prefix_cache_hits:
+        print(f"  prefix cache: {metrics.prefix_cache_hits} hits, "
+              f"{metrics.prefix_saved_tokens} prompt tokens reused")
+    return 0 if outcome.simulation.ok else 1
+
+
 def _cmd_cache(args) -> int:
     from repro.runtime import ResultCache
     from repro.units import MiB
@@ -754,7 +801,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a grid of simulations (parallel, cached)")
     sweep.add_argument("--preset", default=None,
                        help="a named grid: fig7, fig8-dgx1, fig8-dgx2, "
-                            "fig9, hybrid-dgx1, cluster-2xdgx1")
+                            "fig9, hybrid-dgx1, cluster-2xdgx1, "
+                            "serving-dgx1")
     sweep.add_argument("--models", default=None,
                        help="comma list, e.g. bert-0.64,gpt-5.3")
     sweep.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
@@ -776,6 +824,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve_sim = sub.add_parser(
+        "serve-sim",
+        help="simulate LLM serving (continuous batching, paged KV, D2D swap)")
+    serve_sim.add_argument("--model", required=True, help="e.g. gpt-5.3")
+    serve_sim.add_argument("--server", default="dgx1", choices=sorted(SERVERS))
+    serve_sim.add_argument("--requests", type=int, default=16, metavar="N",
+                           help="request count")
+    serve_sim.add_argument("--seed", type=int, default=0,
+                           help="workload RNG seed")
+    serve_sim.add_argument("--arrival-rate", type=float, default=8.0,
+                           metavar="R", help="mean arrivals per second")
+    serve_sim.add_argument("--prompt-mean", type=int, default=128,
+                           metavar="TOKENS")
+    serve_sim.add_argument("--output-mean", type=int, default=32,
+                           metavar="TOKENS")
+    serve_sim.add_argument("--kv-swap", default="d2d",
+                           choices=("d2d", "pcie", "none"),
+                           help="KV overflow policy: stripe to spare GPUs, "
+                                "spill to host, or preempt+recompute")
+    serve_sim.add_argument("--pp", type=int, default=1,
+                           help="pipeline stages serving the model")
+    serve_sim.add_argument("--block-tokens", type=int, default=16,
+                           metavar="TOKENS", help="KV page size")
+    serve_sim.add_argument("--max-batch", type=int, default=8, metavar="N",
+                           help="continuous-batching admission cap")
+    serve_sim.add_argument("--kv-pool-mib", type=int, default=None,
+                           metavar="MIB",
+                           help="per-stage KV pool cap (default: all memory "
+                                "left after weights)")
+    serve_sim.add_argument("--json", action="store_true",
+                           help="machine-readable metrics instead of the "
+                                "summary")
+    serve_sim.set_defaults(func=_cmd_serve_sim)
 
     cache = sub.add_parser("cache", help="inspect or evict the result cache")
     cache.add_argument("action", choices=("stats", "clear", "evict"))

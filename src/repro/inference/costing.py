@@ -1,0 +1,172 @@
+"""Prefill/decode cost accounting derived from the training cost model.
+
+Serving reuses the exact analytic formulas training uses
+(`repro.models.costs`) but charges them per phase: a prefill is one
+full-sequence forward pass over the prompt (the head only computes
+the last position's logits — serving never materializes per-token
+logits for the prompt), and a decode is one token's forward pass that
+additionally streams the request's whole KV cache out of HBM.  Stage
+iteration time is the max of the compute-bound and HBM-bound
+estimates, which is what makes decode memory-bandwidth-bound at small
+batch — the behaviour that motivates KV paging and swap in the first
+place.
+
+Weights are held in fp16 inference form (no gradients, no optimizer
+state); everything left on the device after weights is the KV pool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.server import Server
+from repro.inference.workload import InferenceConfig
+from repro.models import costs
+from repro.models.layers import LayerKind, ModelSpec
+from repro.pipeline.partition import partition_model
+from repro.units import MiB
+
+# Inference holds fp16 weights only: 2 bytes per parameter.
+INFERENCE_PARAM_BYTES = 2
+KV_BYTES_PER_ELEMENT = 2
+
+
+class ServingCost:
+    """Cost oracle binding one model to one server and serving config."""
+
+    def __init__(self, model: ModelSpec, server: Server, config: InferenceConfig):
+        if config.pp > server.n_gpus:
+            raise ConfigurationError(
+                f"pp={config.pp} stages need {config.pp} GPUs, "
+                f"server {server.name} has {server.n_gpus}")
+        self.model = model
+        self.server = server
+        self.config = config
+        self.plan = partition_model(model, config.pp, strategy="computation",
+                                    microbatch=1)
+        self.hidden = model.config.hidden
+        self.vocab = model.config.vocab
+        for stage_id in range(config.pp):
+            # A stage must fit its weights with room for at least one
+            # KV block, or the workload can never start.
+            if self.kv_pool_bytes(stage_id) < self.block_bytes(stage_id):
+                raise ConfigurationError(
+                    f"stage {stage_id}: weights leave no room for a single "
+                    f"KV block on {server.gpu(self.stage_device(stage_id)).name}")
+
+    # -- placement ---------------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return self.config.pp
+
+    def stage_device(self, stage: int) -> int:
+        """Stage ``s`` runs on GPU ``s``; the rest are spare-memory peers."""
+        return stage
+
+    @property
+    def spare_devices(self) -> List[int]:
+        return list(range(self.config.pp, self.server.n_gpus))
+
+    # -- static footprints -------------------------------------------------
+
+    def weight_bytes(self, stage: int) -> int:
+        return self.plan.stage(stage).params * INFERENCE_PARAM_BYTES
+
+    def n_transformer_layers(self, stage: int) -> int:
+        return sum(
+            1 for layer in self.plan.stage(stage).layers
+            if layer.kind is LayerKind.TRANSFORMER
+        )
+
+    def kv_token_bytes(self, stage: int) -> int:
+        """KV bytes one token pins on this stage (all its layers)."""
+        return self.n_transformer_layers(stage) * costs.kv_cache_bytes_per_token(
+            self.hidden, KV_BYTES_PER_ELEMENT)
+
+    def block_bytes(self, stage: int) -> int:
+        per_token = self.kv_token_bytes(stage)
+        if per_token == 0:
+            # Embedding/head-only stages store no KV; give them a
+            # token-sized placeholder so block arithmetic stays uniform.
+            per_token = costs.kv_cache_bytes_per_token(self.hidden, KV_BYTES_PER_ELEMENT)
+        return self.config.block_tokens * per_token
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        if tokens < 0:
+            raise ConfigurationError(f"token count must be >= 0, got {tokens}")
+        return -(-tokens // self.config.block_tokens)
+
+    def kv_pool_bytes(self, stage: int) -> int:
+        """KV capacity of the stage's GPU: memory minus resident weights."""
+        gpu = self.server.gpu(self.stage_device(stage))
+        spare = gpu.memory_bytes - self.weight_bytes(stage)
+        if spare <= 0:
+            raise ConfigurationError(
+                f"stage {stage}: {self.weight_bytes(stage)} bytes of weights "
+                f"exceed {gpu.name}'s memory")
+        if self.config.kv_pool_mib is None:
+            return spare
+        return min(spare, self.config.kv_pool_mib * MiB)
+
+    # -- per-phase FLOPs ---------------------------------------------------
+
+    def prefill_flops(self, stage: int, prompt_tokens: int) -> float:
+        """One request's prefill over ``prompt_tokens`` on this stage."""
+        total = 0.0
+        for layer in self.plan.stage(stage).layers:
+            if layer.kind is LayerKind.EMBEDDING:
+                total += costs.embedding_forward_flops(self.hidden, prompt_tokens, 1)
+            elif layer.kind is LayerKind.TRANSFORMER:
+                total += costs.layer_forward_flops(self.hidden, prompt_tokens, 1)
+            else:
+                # Only the last position's logits are needed.
+                total += costs.head_forward_flops(self.hidden, self.vocab, 1, 1)
+        return total
+
+    def decode_flops(self, stage: int, context_tokens: int) -> float:
+        """One request's single-token decode against ``context_tokens``."""
+        total = 0.0
+        for layer in self.plan.stage(stage).layers:
+            if layer.kind is LayerKind.EMBEDDING:
+                total += costs.embedding_forward_flops(self.hidden, 1, 1)
+            elif layer.kind is LayerKind.TRANSFORMER:
+                total += costs.layer_decode_flops(self.hidden, context_tokens)
+            else:
+                total += costs.head_forward_flops(self.hidden, self.vocab, 1, 1)
+        return total
+
+    # -- iteration timing --------------------------------------------------
+
+    def throughput(self, stage: int) -> float:
+        gpu = self.server.gpu(self.stage_device(stage))
+        return gpu.peak_flops("fp16") * self.config.mfu
+
+    def stage_duration(
+        self,
+        stage: int,
+        prefill_tokens: Sequence[int],
+        decode_contexts: Sequence[int],
+    ) -> float:
+        """One continuous-batching iteration's time on one stage.
+
+        ``prefill_tokens`` are the *chargeable* prompt lengths of this
+        iteration's prefills (prefix-cache hits already subtracted);
+        ``decode_contexts`` the KV context each decoding request reads.
+        """
+        if not prefill_tokens and not decode_contexts:
+            return 0.0
+        flops = sum(self.prefill_flops(stage, t) for t in prefill_tokens)
+        flops += sum(self.decode_flops(stage, c) for c in decode_contexts)
+        compute = flops / self.throughput(stage)
+        gpu = self.server.gpu(self.stage_device(stage))
+        kv_read = sum(decode_contexts) * self.kv_token_bytes(stage)
+        hbm = (self.weight_bytes(stage) + kv_read) / gpu.hbm_bandwidth
+        return max(compute, hbm)
+
+    def boundary_bytes(self, tokens: int) -> int:
+        """Activation bytes crossing a stage boundary for ``tokens``."""
+        if tokens <= 0:
+            return 0
+        return costs.layer_boundary_bytes(self.hidden, tokens, 1, KV_BYTES_PER_ELEMENT)

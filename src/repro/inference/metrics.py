@@ -1,0 +1,159 @@
+"""Serving metrics: TTFT/TPOT percentiles, throughput, decode stall.
+
+Computed from the simulation trace (the ``"step"`` record each
+iteration's last-stage compute publishes) joined with the tape's
+per-request admission/completion records:
+
+* **TTFT** — request arrival to the end of its prefill iteration on
+  the last stage (the first output token exists once the final stage
+  finished that iteration);
+* **TPOT** — remaining latency per additional output token;
+* **decode stall** — idle time the stage devices spend in front of
+  swap-gated iterations, i.e. the cost of waiting for KV blocks to
+  come back.  This is the quantity the D2D-vs-PCIe crossover test
+  compares at equal spill volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.inference.scheduler import ServingTape
+from repro.inference.workload import InferenceConfig
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """One serving episode's summary statistics (all times in seconds)."""
+
+    n_requests: int
+    n_iterations: int
+    total_output_tokens: int
+    makespan: float
+    tokens_per_second: float
+    ttft_p50: float
+    ttft_p95: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p95: float
+    tpot_p99: float
+    decode_stall_seconds: float
+    swapped_requests: int
+    swapped_bytes: int
+    preemptions: int
+    prefix_cache_hits: int
+    prefix_saved_tokens: int
+    kv_swap: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "n_requests": self.n_requests,
+            "n_iterations": self.n_iterations,
+            "total_output_tokens": self.total_output_tokens,
+            "makespan": self.makespan,
+            "tokens_per_second": self.tokens_per_second,
+            "ttft_p50": self.ttft_p50,
+            "ttft_p95": self.ttft_p95,
+            "ttft_p99": self.ttft_p99,
+            "tpot_p50": self.tpot_p50,
+            "tpot_p95": self.tpot_p95,
+            "tpot_p99": self.tpot_p99,
+            "decode_stall_seconds": self.decode_stall_seconds,
+            "swapped_requests": self.swapped_requests,
+            "swapped_bytes": self.swapped_bytes,
+            "preemptions": self.preemptions,
+            "prefix_cache_hits": self.prefix_cache_hits,
+            "prefix_saved_tokens": self.prefix_saved_tokens,
+            "kv_swap": self.kv_swap,
+        }
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise SimulationError(f"percentile rank {q} out of range")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n*q/100), min 1
+    return ordered[int(rank) - 1]
+
+
+def _step_windows(trace) -> Dict[Tuple[int, int], Tuple[float, float]]:
+    """(device, iteration) -> (start, end) of that iteration's compute."""
+    windows: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for event in trace.events:
+        if event.kind == "step":
+            windows[(event.device, event.microbatch)] = (event.start, event.end)
+    return windows
+
+
+def compute_metrics(
+    simulation, tape: ServingTape, config: InferenceConfig
+) -> ServingMetrics:
+    """Join the simulated trace with the tape into serving statistics."""
+    windows = _step_windows(simulation.trace)
+    last_stage_device = config.pp - 1
+    iter_end: Dict[int, float] = {
+        iteration: windows[(last_stage_device, iteration)][1]
+        for iteration in range(tape.n_iterations)
+        if (last_stage_device, iteration) in windows
+    }
+    if len(iter_end) != tape.n_iterations:
+        raise SimulationError(
+            f"trace covers {len(iter_end)} of {tape.n_iterations} serving "
+            "iterations — was record_trace disabled?")
+
+    arrivals = {request.rid: request.arrival for request in tape.requests}
+    outputs = {request.rid: request.output_tokens for request in tape.requests}
+    ttfts: List[float] = []
+    tpots: List[float] = []
+    for rid, (prefill_iter, last_iter) in sorted(tape.completion.items()):
+        first_token = iter_end[prefill_iter]
+        ttfts.append(first_token - arrivals[rid])
+        extra_tokens = outputs[rid] - 1
+        if extra_tokens > 0:
+            tpots.append((iter_end[last_iter] - first_token) / extra_tokens)
+
+    # Decode stall: device idle time immediately before a swap-gated
+    # iteration — compute could otherwise have started when the
+    # previous iteration on that device finished.
+    stall = 0.0
+    gated = tape.swap_gated_iterations
+    for device in range(config.pp):
+        previous_end = None
+        for iteration in range(tape.n_iterations):
+            window = windows.get((device, iteration))
+            if window is None:
+                continue
+            start, end = window
+            if iteration in gated and previous_end is not None:
+                stall += max(0.0, start - previous_end)
+            previous_end = end
+
+    makespan = simulation.makespan
+    tokens_per_second = (
+        tape.total_output_tokens / makespan if makespan > 0 else 0.0
+    )
+    return ServingMetrics(
+        n_requests=len(tape.requests),
+        n_iterations=tape.n_iterations,
+        total_output_tokens=tape.total_output_tokens,
+        makespan=makespan,
+        tokens_per_second=tokens_per_second,
+        ttft_p50=percentile(ttfts, 50),
+        ttft_p95=percentile(ttfts, 95),
+        ttft_p99=percentile(ttfts, 99),
+        tpot_p50=percentile(tpots, 50),
+        tpot_p95=percentile(tpots, 95),
+        tpot_p99=percentile(tpots, 99),
+        decode_stall_seconds=stall,
+        swapped_requests=tape.swapped_requests,
+        swapped_bytes=tape.swapped_bytes,
+        preemptions=tape.preemptions,
+        prefix_cache_hits=tape.prefix_cache_hits,
+        prefix_saved_tokens=tape.prefix_saved_tokens,
+        kv_swap=config.kv_swap,
+    )

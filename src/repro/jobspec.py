@@ -22,10 +22,18 @@ Cluster keys (``nodes``, ``fabric``, ``tp``, ``dp``, ``pp``,
 auto-parallel planner (:mod:`repro.autoplan`) instead of reading the
 explicit degrees; ``budget_gib`` optionally tightens the per-GPU
 memory budget the shape search plans under.
+
+``"workload": "inference"`` switches a task spec to an LLM-serving
+simulation (:mod:`repro.inference`); the optional ``"inference"``
+object carries the arrival process, KV pool cap, and swap policy::
+
+    {"model": "gpt-5.3", "server": "dgx1", "workload": "inference",
+     "inference": {"n_requests": 32, "kv_swap": "d2d"}}
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import Dict
 
@@ -50,12 +58,17 @@ _CLUSTER = {
     "shape": "explicit",
     "budget_gib": None,
 }
+_SERVING = {
+    "workload": "training",
+    "inference": None,
+}
 _BUILDERS = {"pipedream": pipedream_job, "dapple": dapple_job, "gpipe": gpipe_job}
 
 
 def job_from_spec(spec: Dict) -> TrainingJob:
     """Build a :class:`TrainingJob` from a parsed spec dict."""
-    unknown = set(spec) - set(_REQUIRED) - set(_OPTIONAL) - set(_CLUSTER)
+    unknown = (set(spec) - set(_REQUIRED) - set(_OPTIONAL) - set(_CLUSTER)
+               - set(_SERVING))
     if unknown:
         raise ConfigurationError(f"unknown job spec keys: {sorted(unknown)}")
     for key in _REQUIRED:
@@ -162,6 +175,52 @@ def autoplan_config_from_spec(spec: Dict):
     )
 
 
+def inference_config_from_spec(spec: Dict):
+    """The spec's :class:`~repro.inference.InferenceConfig`, or ``None``.
+
+    ``None`` for training specs.  ``"workload": "inference"`` switches
+    the spec to a serving simulation; the optional ``"inference"``
+    object carries :class:`InferenceConfig` fields (arrival process,
+    KV pool cap, swap policy, ...).  Cluster keys describe training
+    sharding and contradict a serving spec, so mixing is an error.
+    """
+    workload = spec.get("workload", "training")
+    if workload not in ("training", "inference"):
+        raise ConfigurationError(
+            f"unknown workload {workload!r}; options: "
+            f"['inference', 'training']")
+    if workload != "inference":
+        if spec.get("inference") is not None:
+            raise ConfigurationError(
+                '"inference" settings only apply to '
+                '"workload": "inference" specs')
+        return None
+    for key, default in (("nodes", 1), ("tp", 1), ("dp", 1), ("pp", 0)):
+        if int(spec.get(key, default) or default) != default:
+            raise ConfigurationError(
+                f'"workload": "inference" specs describe one server; '
+                f"drop the cluster key {key}={spec[key]}")
+    if spec.get("shape", "explicit") == "auto":
+        raise ConfigurationError(
+            '"shape": "auto" is a training-shape search; inference '
+            "specs set pp inside the \"inference\" object instead")
+
+    from repro.inference import InferenceConfig
+
+    params = spec.get("inference") or {}
+    if not isinstance(params, dict):
+        raise ConfigurationError('"inference" must be a JSON object')
+    fields = {f.name for f in dataclasses.fields(InferenceConfig)}
+    unknown = set(params) - fields
+    if unknown:
+        raise ConfigurationError(
+            f"unknown inference keys: {sorted(unknown)}")
+    params = dict(params)
+    if params.get("trace") is not None:
+        params["trace"] = tuple(tuple(entry) for entry in params["trace"])
+    return InferenceConfig(**params)
+
+
 _TASK = {
     "label": None,
     "system": "mpress",
@@ -192,6 +251,22 @@ def task_from_spec(spec: Dict) -> "SimTask":
     task_keys = {key: spec.pop(key, default)
                  for key, default in _TASK.items()}
     job = job_from_spec(spec)
+    inference = inference_config_from_spec(spec)
+    if inference is not None:
+        if task_keys["faults_seed"] is not None:
+            raise ConfigurationError(
+                "fault injection applies to training tasks, not "
+                '"workload": "inference"')
+        if task_keys["hybrid_dp"] is not None:
+            raise ConfigurationError(
+                "hybrid_dp applies to training tasks, not "
+                '"workload": "inference"')
+        label = task_keys["label"]
+        if label is None:
+            label = (f"serving/{spec['model']}/{spec['server']}"
+                     f"/kv={inference.kv_swap}")
+        return SimTask(label=label, job=job, system=task_keys["system"],
+                       inference=inference)
     autoplan = autoplan_config_from_spec(spec)
     if autoplan is not None:
         cluster = cluster_from_spec(spec, force=True)

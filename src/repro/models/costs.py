@@ -126,6 +126,30 @@ def layer_activation_bytes(
     return int(linear + attention)
 
 
+def kv_cache_bytes_per_token(hidden: int, bytes_per_element: int = 2) -> int:
+    """KV-cache bytes one transformer layer stores per generated token.
+
+    Autoregressive decoding keeps the key and value projections of
+    every past token resident — two ``hidden``-wide vectors per layer
+    per token.  This is the quantity that makes the KV cache the
+    dominant serving-time memory consumer and the tensor the
+    inference D2D swap path stripes to spare-memory peers.
+    """
+    _check_positive(hidden=hidden, bytes_per_element=bytes_per_element)
+    return 2 * hidden * bytes_per_element
+
+
+def layer_decode_flops(hidden: int, context: int) -> float:
+    """FLOPs for one layer's forward pass over a single decode token.
+
+    The projections/MLP cost the same ``24 h^2`` as one position of a
+    prefill pass; the attention matmuls score the new token against
+    the full ``context`` of cached keys/values (``4 c h``).
+    """
+    _check_positive(hidden=hidden, context=context)
+    return 24.0 * hidden * hidden + 4.0 * context * hidden
+
+
 def layer_boundary_bytes(hidden: int, seq: int, microbatch: int, bytes_per_element: int = 2) -> int:
     """Bytes of the activation tensor crossing a layer boundary.
 

@@ -6,7 +6,12 @@ from repro.pipeline.partition import (
     partition_memory_balanced,
     partition_model,
 )
-from repro.pipeline.schedule import PipelineSchedule, ScheduleOp, OpKind
+from repro.pipeline.schedule import (
+    PipelineSchedule,
+    ScheduleOp,
+    OpKind,
+    continuous_schedule,
+)
 from repro.pipeline.pipedream import pipedream_schedule
 from repro.pipeline.dapple import dapple_schedule
 from repro.pipeline.gpipe import gpipe_schedule
@@ -20,6 +25,7 @@ __all__ = [
     "PipelineSchedule",
     "ScheduleOp",
     "OpKind",
+    "continuous_schedule",
     "pipedream_schedule",
     "dapple_schedule",
     "gpipe_schedule",

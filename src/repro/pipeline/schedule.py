@@ -41,14 +41,14 @@ class ScheduleOp:
 class PipelineSchedule:
     """Per-stage op orderings plus scheduling-mode metadata."""
 
-    mode: str  # "async" (PipeDream) or "sync" (DAPPLE)
+    mode: str  # "async" (PipeDream), "sync" (DAPPLE), "continuous" (serving)
     n_stages: int
     n_minibatches: int
     microbatches_per_minibatch: int
     per_stage: List[List[ScheduleOp]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.mode not in ("async", "sync"):
+        if self.mode not in ("async", "sync", "continuous"):
             raise ScheduleError(f"unknown schedule mode {self.mode!r}")
         if len(self.per_stage) != self.n_stages:
             raise ScheduleError(
@@ -71,7 +71,7 @@ class PipelineSchedule:
         scheduling (DAPPLE) keeps a single version everywhere.
         """
         self._check_stage(stage)
-        if self.mode == "sync":
+        if self.mode in ("sync", "continuous"):
             return 1
         return self.n_stages - stage
 
@@ -125,6 +125,14 @@ class PipelineSchedule:
             bwds = [op.microbatch for op in ops if op.kind is OpKind.BACKWARD]
             if set(fwds) != expected or len(fwds) != len(expected):
                 raise ScheduleError(f"stage {stage}: forward set incomplete or duplicated")
+            if self.mode == "continuous":
+                # Serving never runs backward passes: each "microbatch"
+                # is one continuous-batching iteration, forward-only.
+                if bwds or any(op.kind is OpKind.OPTIMIZER for op in ops):
+                    raise ScheduleError(
+                        f"stage {stage}: continuous schedules are forward-only"
+                    )
+                continue
             if set(bwds) != expected or len(bwds) != len(expected):
                 raise ScheduleError(f"stage {stage}: backward set incomplete or duplicated")
 
@@ -174,6 +182,30 @@ def one_f_one_b(
             ops.append(ScheduleOp(OpKind.FORWARD, microbatch_ids[next_fwd], -1))
             next_fwd += 1
     return ops
+
+
+def continuous_schedule(n_stages: int, n_iterations: int) -> PipelineSchedule:
+    """Forward-only schedule for continuous-batching inference.
+
+    Each "microbatch" id is one serving iteration: every stage runs the
+    iterations in order, and which requests prefill or decode inside an
+    iteration is the serving scheduler's concern, not the schedule's.
+    """
+    if n_stages < 1:
+        raise ScheduleError("continuous schedules need at least one stage")
+    if n_iterations < 1:
+        raise ScheduleError("continuous schedules need at least one iteration")
+    per_stage = [
+        [ScheduleOp(OpKind.FORWARD, it, 0) for it in range(n_iterations)]
+        for _ in range(n_stages)
+    ]
+    return PipelineSchedule(
+        mode="continuous",
+        n_stages=n_stages,
+        n_minibatches=1,
+        microbatches_per_minibatch=n_iterations,
+        per_stage=per_stage,
+    )
 
 
 def relabel_minibatch(

@@ -127,6 +127,35 @@ def cluster_tasks(cluster: Cluster = None,
     return tasks
 
 
+# Serving grid: one workload, the three KV overflow policies.  The
+# pool is capped well below the workload's KV footprint so every
+# policy actually exercises its overflow path (D2D stripes to spare
+# GPUs, PCIe spills to host, "none" preempts and re-prefills).
+SERVING_KV_MODES = ("d2d", "pcie", "none")
+
+
+def serving_tasks(server: Server = None, billions: float = 5.3) -> List[SimTask]:
+    """Serving grid: GPT x KV-swap policies under a tight KV pool."""
+    from repro.inference import InferenceConfig
+
+    server = server if server is not None else dgx1_server()
+    job = dapple_job(gpt_variant(billions), server)
+    tasks = []
+    for mode in SERVING_KV_MODES:
+        tasks.append(SimTask(
+            label=f"serving/{server.name}/gpt-{billions}/kv={mode}",
+            job=job,
+            system="mpress",
+            inference=InferenceConfig(
+                seed=3, n_requests=10, arrival_rate=32.0,
+                prompt_mean=128, prompt_max=256,
+                output_mean=24, output_max=64,
+                max_batch=6, kv_swap=mode, kv_pool_mib=199,
+            ),
+        ))
+    return tasks
+
+
 PRESETS = {
     "fig7": lambda: fig7_tasks(),
     "fig8-dgx1": lambda: fig8_tasks(dgx1_server()),
@@ -134,6 +163,7 @@ PRESETS = {
     "fig9": lambda: fig9_tasks(),
     "hybrid-dgx1": lambda: hybrid_tasks(dgx1_server()),
     "cluster-2xdgx1": lambda: cluster_tasks(dgx1_cluster(2)),
+    "serving-dgx1": lambda: serving_tasks(dgx1_server()),
 }
 
 

@@ -46,6 +46,7 @@ from repro.core.serialization import (
 from repro.errors import ConfigurationError
 from repro.faults.spec import FaultSchedule
 from repro.hardware.cluster import Cluster
+from repro.inference.workload import InferenceConfig
 from repro.job import TrainingJob
 from repro.parallel.cluster import ClusterConfig
 from repro.parallel.hybrid import HybridConfig
@@ -78,7 +79,11 @@ class SimTask:
     multi-server fabric instead of ``job.server``.  When ``autoplan``
     is set the task is a *shape search*: ``run_cluster`` picks the
     TP x DP x PP shape itself over ``cluster`` (no ``cluster_config``
-    — the search's whole point is that none was chosen).
+    — the search's whole point is that none was chosen).  When
+    ``inference`` is set the task simulates an LLM *serving* episode
+    (``repro.inference``) on ``job.model`` / ``job.server`` instead of
+    a training run; ``system`` is cosmetic there and the serving
+    config's ``kv_swap`` selects the memory policy.
     """
 
     label: str
@@ -92,6 +97,7 @@ class SimTask:
     cluster: Optional[Cluster] = None
     cluster_config: Optional[ClusterConfig] = None
     autoplan: Optional[AutoPlanConfig] = None
+    inference: Optional[InferenceConfig] = None
 
     def __post_init__(self) -> None:
         known = _SYSTEMS + _ZERO_SYSTEMS
@@ -142,6 +148,19 @@ class SimTask:
                     "cluster tasks take no hybrid config, planner config, "
                     "plan, or faults"
                 )
+        if self.inference is not None:
+            if self.system not in _SYSTEMS:
+                raise ConfigurationError(
+                    "inference tasks need a pipeline system, not "
+                    f"{self.system!r}"
+                )
+            if (self.config is not None or self.plan is not None
+                    or self.faults is not None or self.hybrid is not None
+                    or self.cluster is not None or self.autoplan is not None):
+                raise ConfigurationError(
+                    "inference tasks take no planner config, plan, faults, "
+                    "hybrid, cluster, or autoplan settings"
+                )
 
     @property
     def is_zero(self) -> bool:
@@ -182,6 +201,10 @@ class SimTask:
             # Gated like the keys above: only shape-search tasks carry
             # it, so every pre-autoplan content address is unchanged.
             payload["autoplan"] = canonical_payload(self.autoplan)
+        if self.inference is not None:
+            # Gated: only serving tasks carry the key, so every
+            # training-task content address is unchanged.
+            payload["inference"] = canonical_payload(self.inference)
         return payload
 
     def cache_key(self) -> str:
@@ -209,6 +232,8 @@ def execute_task(task: SimTask) -> Dict:
     This is the function sweep workers execute; everything it returns
     must be plain JSON so the result cache can persist it verbatim.
     """
+    if task.inference is not None:
+        return _execute_inference(task)
     if task.is_zero:
         return _execute_zero(task)
     if task.autoplan is not None:
@@ -271,6 +296,17 @@ def _simulation_record(task: SimTask, simulation, plan, feasible) -> Dict:
             "recovery_seconds": report.total_recovery_seconds,
             "lost_seconds": report.lost_seconds,
         }
+    return record
+
+
+def _execute_inference(task: SimTask) -> Dict:
+    from repro.inference.run import run_serving
+
+    outcome = run_serving(task.job.model, task.job.server, task.inference)
+    record = _simulation_record(
+        task, outcome.simulation, plan=None, feasible=outcome.simulation.ok
+    )
+    record["inference"] = outcome.metrics.to_json()
     return record
 
 

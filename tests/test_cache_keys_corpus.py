@@ -19,6 +19,7 @@ import pytest
 from repro.autoplan import AutoPlanConfig
 from repro.core.planner import PlannerConfig
 from repro.faults.spec import random_schedule
+from repro.inference import InferenceConfig
 from repro.hardware.cluster import dgx1_cluster
 from repro.hardware.server import dgx1_server, dgx2_server
 from repro.job import dapple_job, pipedream_job
@@ -74,6 +75,14 @@ def corpus():
     tasks["spec/gpt-5.3/2xdgx1/shape-auto"] = task_from_spec(
         {"model": "gpt-5.3", "server": "dgx1", "nodes": 2, "shape": "auto",
          "budget_gib": 16, "n_minibatches": 2})
+    tasks["inference/gpt-5.3/dgx1/d2d"] = SimTask(
+        label="corpus", job=dapple_job(gpt_variant(5.3), dgx1_server()),
+        system="mpress",
+        inference=InferenceConfig(n_requests=10, kv_swap="d2d",
+                                  kv_pool_mib=199))
+    tasks["spec/gpt-5.3/dgx1/inference-pcie"] = task_from_spec(
+        {"model": "gpt-5.3", "server": "dgx1", "workload": "inference",
+         "inference": {"n_requests": 8, "kv_swap": "pcie"}})
     return tasks
 
 
@@ -102,6 +111,7 @@ def test_corpus_covers_every_task_shape():
     assert any(t.cluster is not None for t in tasks)
     assert any(t.autoplan is not None for t in tasks)
     assert any(t.is_zero for t in tasks)
+    assert any(t.inference is not None for t in tasks)
 
 
 def test_corpus_keys_are_distinct():

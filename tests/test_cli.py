@@ -430,3 +430,57 @@ class TestPlanJson:
         assert (shape["tp"], shape["dp"], shape["pp"]) == (2, 2, 2)
         assert shape["cluster"] == "2x-dgx1"
         assert shape["score"] > 0
+
+
+class TestServeSim:
+    def test_reports_latency_and_throughput(self, capsys):
+        code = main([
+            "serve-sim", "--model", "gpt-5.3", "--requests", "6",
+            "--kv-swap", "d2d",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tokens/sec" in out
+        assert "TTFT p50/p95/p99" in out
+        assert "TPOT p50/p95/p99" in out
+
+    def test_json_metrics(self, capsys):
+        code = main([
+            "serve-sim", "--model", "gpt-5.3", "--requests", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] == 4
+        assert payload["kv_swap"] == "d2d"
+        assert payload["tokens_per_second"] > 0
+
+    def test_swap_forcing_pool_reports_spill(self, capsys):
+        code = main([
+            "serve-sim", "--model", "gpt-5.3", "--requests", "10",
+            "--seed", "3", "--arrival-rate", "32", "--max-batch", "6",
+            "--kv-pool-mib", "199", "--kv-swap", "pcie", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["swapped_bytes"] > 0
+
+    def test_bad_kv_pool_rejected(self, capsys):
+        code = main([
+            "serve-sim", "--model", "gpt-5.3", "--kv-pool-mib", "-1",
+        ])
+        assert code == 2
+        assert "kv_pool_mib" in capsys.readouterr().err
+
+
+class TestSingleNodeGuard:
+    def test_guard_names_the_offending_flag(self, capsys):
+        code = main(["run", "--model", "bert-0.35", "--nodes", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--nodes 2" in err
+        assert "'run' simulates one server" in err
+
+    def test_profile_guard_names_the_offending_flag(self, capsys):
+        code = main(["profile", "--model", "bert-0.35", "--nodes", "3"])
+        assert code == 2
+        assert "--nodes 3" in capsys.readouterr().err

@@ -116,6 +116,27 @@ def cluster_golden_task(name: str) -> SimTask:
                    cluster_config=ClusterConfig(tp=tp, dp=dp, pp=pp))
 
 
+# name -> (family, billions, server, kv_swap)
+INFERENCE_GOLDENS = {
+    "dgx1-serving-gpt53-d2d": ("gpt", 5.3, "dgx1", "d2d"),
+}
+
+
+def inference_golden_task(name: str) -> SimTask:
+    from repro.inference import InferenceConfig
+
+    family, billions, server_name, kv_swap = INFERENCE_GOLDENS[name]
+    server = _SERVERS[server_name]()
+    job = dapple_job(_MODELS[family](billions), server)
+    # Tight KV pool so the golden pins the swap path, not just batching.
+    return SimTask(label=f"golden/{name}", job=job, system="mpress",
+                   inference=InferenceConfig(
+                       seed=3, n_requests=10, arrival_rate=32.0,
+                       prompt_mean=128, prompt_max=256,
+                       output_mean=24, output_max=64,
+                       max_batch=6, kv_swap=kv_swap, kv_pool_mib=199))
+
+
 def golden_path(name: str) -> str:
     return os.path.join(GOLDEN_DIR, f"{name}.json")
 
@@ -176,6 +197,33 @@ def test_cluster_golden(name, update_goldens):
     record = execute_task(cluster_golden_task(name))
     assert record["ok"], f"cluster golden {name} must simulate cleanly"
     assert record["cluster"]["tp"] == CLUSTER_GOLDENS[name][5]
+    path = golden_path(name)
+    if update_goldens:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump({"name": name, "record": record}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        return
+    assert os.path.exists(path), (
+        f"missing golden {path}; run pytest --update-goldens"
+    )
+    with open(path) as handle:
+        golden = json.load(handle)
+    assert record == golden["record"], (
+        f"golden {name} drifted; if the semantic change is intentional, "
+        f"refresh with --update-goldens and bump RUNTIME_CACHE_SALT"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(INFERENCE_GOLDENS))
+def test_inference_golden(name, update_goldens):
+    """Serving records pin TTFT/TPOT percentiles, spill volume, and the
+    trace digest of the lowered continuous-batching program."""
+    record = execute_task(inference_golden_task(name))
+    assert record["ok"], f"inference golden {name} must simulate cleanly"
+    assert record["inference"]["kv_swap"] == INFERENCE_GOLDENS[name][3]
+    assert record["inference"]["swapped_bytes"] > 0
     path = golden_path(name)
     if update_goldens:
         os.makedirs(GOLDEN_DIR, exist_ok=True)

@@ -91,3 +91,67 @@ class TestRoundTrip:
         path.write_text(json.dumps({"model": "bert-0.35", "server": "dgx1"}))
         assert main(["profile", "--spec", str(path)]) == 0
         assert "Bert-0.35B" in capsys.readouterr().out
+
+
+class TestInferenceSpecs:
+    def test_inference_spec_builds_a_serving_task(self):
+        from repro.jobspec import task_from_spec
+
+        task = task_from_spec({
+            "model": "gpt-5.3", "server": "dgx1",
+            "workload": "inference",
+            "inference": {"n_requests": 8, "kv_swap": "pcie"},
+        })
+        assert task.inference is not None
+        assert task.inference.n_requests == 8
+        assert task.inference.kv_swap == "pcie"
+        assert task.label == "serving/gpt-5.3/dgx1/kv=pcie"
+
+    def test_workload_defaults_to_training(self):
+        from repro.jobspec import inference_config_from_spec
+
+        assert inference_config_from_spec(
+            {"model": "gpt-5.3", "server": "dgx1"}) is None
+
+    def test_trace_lists_become_tuples(self):
+        from repro.jobspec import inference_config_from_spec
+
+        config = inference_config_from_spec({
+            "model": "gpt-5.3", "server": "dgx1",
+            "workload": "inference",
+            "inference": {"arrival": "trace",
+                          "trace": [[0.0, 32, 8], [0.5, 16, 4]]},
+        })
+        assert config.trace == ((0.0, 32, 8), (0.5, 16, 4))
+
+    @pytest.mark.parametrize("extra,match", [
+        ({"workload": "batch"}, "unknown workload"),
+        ({"inference": {"n_requests": 4}}, "workload"),
+        ({"workload": "inference", "nodes": 2}, "cluster key"),
+        ({"workload": "inference", "tp": 2}, "cluster key"),
+        ({"workload": "inference", "shape": "auto"}, "training-shape"),
+        ({"workload": "inference", "inference": {"bogus": 1}},
+         "unknown inference keys"),
+        ({"workload": "inference", "inference": [1]}, "JSON object"),
+        ({"workload": "inference", "faults_seed": 1}, "fault injection"),
+        ({"workload": "inference", "hybrid_dp": 2}, "hybrid_dp"),
+    ])
+    def test_contradictory_specs_rejected(self, extra, match):
+        from repro.jobspec import task_from_spec
+
+        spec = {"model": "gpt-5.3", "server": "dgx1"}
+        spec.update(extra)
+        with pytest.raises(ConfigurationError, match=match):
+            task_from_spec(spec)
+
+    def test_inference_spec_executes(self):
+        from repro.jobspec import task_from_spec
+        from repro.runtime.task import execute_task
+
+        record = execute_task(task_from_spec({
+            "model": "gpt-5.3", "server": "dgx1",
+            "workload": "inference",
+            "inference": {"n_requests": 4},
+        }))
+        assert record["ok"]
+        assert record["inference"]["n_requests"] == 4

@@ -154,3 +154,39 @@ class TestBackwardDrain:
             sched.backward_drain(0, 5)
         with pytest.raises(ScheduleError):
             sched.backward_drain(7, 0)
+
+
+class TestContinuous:
+    def test_builder_is_forward_only(self):
+        from repro.pipeline.schedule import continuous_schedule
+
+        sched = continuous_schedule(n_stages=2, n_iterations=5)
+        assert sched.mode == "continuous"
+        assert sched.total_microbatches == 5
+        for row in sched.per_stage:
+            assert all(op.kind is OpKind.FORWARD for op in row)
+
+    def test_backward_ops_rejected_in_continuous_mode(self):
+        with pytest.raises(ScheduleError, match="forward-only"):
+            PipelineSchedule(
+                mode="continuous",
+                n_stages=1,
+                n_minibatches=1,
+                microbatches_per_minibatch=1,
+                per_stage=[[ScheduleOp(OpKind.FORWARD, 0, 0),
+                            ScheduleOp(OpKind.BACKWARD, 0, 0)]],
+            )
+
+    def test_weight_versions_single_like_sync(self):
+        from repro.pipeline.schedule import continuous_schedule
+
+        sched = continuous_schedule(n_stages=3, n_iterations=2)
+        assert [sched.weight_versions(s) for s in range(3)] == [1, 1, 1]
+
+    def test_degenerate_sizes_rejected(self):
+        from repro.pipeline.schedule import continuous_schedule
+
+        with pytest.raises(ScheduleError):
+            continuous_schedule(n_stages=0, n_iterations=1)
+        with pytest.raises(ScheduleError):
+            continuous_schedule(n_stages=1, n_iterations=0)
